@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Regenerates paper Figure 5a: per-benchmark processor power
+ * breakdown (real vs predicted) for the SPEC proxies on the 4-core,
+ * 4-way-SMT configuration, using the bottom-up model's
+ * decomposition. Powers are normalized to the maximum real power in
+ * the series, as the paper normalizes all absolute values.
+ */
+
+#include "bench/common.hh"
+#include "util/table.hh"
+
+using namespace mprobe;
+using namespace mprobe::bench;
+
+int
+main()
+{
+    banner("Figure 5a: SPEC power breakdown, real vs predicted "
+           "(CMP-SMT 4-4)");
+
+    BenchContext ctx;
+    ModelExperiment ex = runModelPipeline(ctx.arch, ctx.machine,
+                                          paperPipelineOptions());
+
+    ChipConfig cfg{4, 4};
+    auto samples = ex.specAt(cfg);
+
+    double norm = 0.0;
+    for (const auto &s : samples)
+        norm = std::max(norm, s.powerWatts);
+
+    TextTable t({"Benchmark", "Real", "Predicted", "WI", "Uncore",
+                 "CMP_eff", "SMT_eff", "Dynamic", "err%"});
+    double err_sum = 0.0;
+    for (const auto &s : samples) {
+        PowerBreakdown b = ex.bu.breakdown(s);
+        double err = pctAbsError(b.total(), s.powerWatts);
+        err_sum += err;
+        t.addRow({s.workload,
+                  TextTable::num(s.powerWatts / norm, 3),
+                  TextTable::num(b.total() / norm, 3),
+                  TextTable::num(b.workloadIndependent / norm, 3),
+                  TextTable::num(b.uncore / norm, 3),
+                  TextTable::num(b.cmpEffect / norm, 3),
+                  TextTable::num(b.smtEffect / norm, 3),
+                  TextTable::num(b.dynamic / norm, 3),
+                  TextTable::num(err, 2)});
+    }
+    t.print(std::cout);
+    std::cout << "\nMean abs error on this configuration: "
+              << TextTable::num(err_sum / samples.size(), 2)
+              << "% (paper: ~2.3% overall mean)\n"
+              << "The non-dynamic components are constant across "
+                 "benchmarks (they depend only on the "
+                 "configuration), matching the figure.\n";
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Regenerates paper Figure 5b: percentage average absolute
+ * prediction error (PAAE) of the bottom-up model on the SPEC
+ * proxies, for all 24 CMP-SMT configurations plus the mean.
+ */
+
+#include "bench/common.hh"
+#include "util/table.hh"
+
+using namespace mprobe;
+using namespace mprobe::bench;
+
+int
+main()
+{
+    banner("Figure 5b: bottom-up model PAAE per CMP-SMT "
+           "configuration");
+
+    BenchContext ctx;
+    ModelExperiment ex = runModelPipeline(ctx.arch, ctx.machine,
+                                          paperPipelineOptions());
+
+    TextTable t({"Config", "PAAE %"});
+    double sum = 0.0;
+    double worst = 0.0;
+    size_t n = 0;
+    for (const auto &cfg : ChipConfig::all()) {
+        auto ss = ex.specAt(cfg);
+        if (ss.empty())
+            continue;
+        double e = ex.paaeOf(ex.bu, ss);
+        sum += e;
+        worst = std::max(worst, e);
+        ++n;
+        t.addRow({cfg.label(), TextTable::num(e, 2)});
+    }
+    t.addRow({"Mean", TextTable::num(sum / n, 2)});
+    t.print(std::cout);
+    std::cout << "\nMean PAAE: " << TextTable::num(sum / n, 2)
+              << "% (paper: ~2.3%), max "
+              << TextTable::num(worst, 2)
+              << "% (paper: ~4%).\n"
+              << "The linear CMP/SMT approximation of a convex "
+                 "reality produces the rise-then-fall error trend "
+                 "over core count discussed in Section 4.1.1.\n";
+    return 0;
+}

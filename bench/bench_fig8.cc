@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Regenerates paper Figure 8: the average per-component power
+ * breakdown (percent) of the SPEC proxies for every CMP-SMT
+ * configuration, from the bottom-up model's decomposition.
+ */
+
+#include "bench/common.hh"
+#include "util/table.hh"
+
+using namespace mprobe;
+using namespace mprobe::bench;
+
+int
+main()
+{
+    banner("Figure 8: average power breakdown (%) per "
+           "configuration");
+
+    BenchContext ctx;
+    ModelExperiment ex = runModelPipeline(ctx.arch, ctx.machine,
+                                          paperPipelineOptions());
+
+    TextTable t({"Config", "WI%", "Uncore%", "CMP_eff%",
+                 "SMT_eff%", "Dynamic%"});
+    double share_11 = 0.0, share_84 = 0.0;
+    for (const auto &cfg : ChipConfig::all()) {
+        auto ss = ex.specAt(cfg);
+        if (ss.empty())
+            continue;
+        PowerBreakdown acc;
+        for (const auto &s : ss) {
+            PowerBreakdown b = ex.bu.breakdown(s);
+            acc.dynamic += b.dynamic;
+            acc.smtEffect += b.smtEffect;
+            acc.cmpEffect += b.cmpEffect;
+            acc.uncore += b.uncore;
+            acc.workloadIndependent += b.workloadIndependent;
+        }
+        double tot = acc.total();
+        double wi = acc.workloadIndependent / tot * 100;
+        double un = acc.uncore / tot * 100;
+        t.addRow({cfg.label(), TextTable::num(wi, 1),
+                  TextTable::num(un, 1),
+                  TextTable::num(acc.cmpEffect / tot * 100, 1),
+                  TextTable::num(acc.smtEffect / tot * 100, 1),
+                  TextTable::num(acc.dynamic / tot * 100, 1)});
+        if (cfg.cores == 1 && cfg.smt == 1)
+            share_11 = wi + un;
+        if (cfg.cores == 8 && cfg.smt == 4)
+            share_84 = wi + un;
+    }
+    t.print(std::cout);
+
+    std::cout << "\nWI+Uncore share: "
+              << TextTable::num(share_11, 1) << "% at 1-1 -> "
+              << TextTable::num(share_84, 1)
+              << "% at 8-4 (paper: ~85% -> ~50%).\n"
+              << "Enabling SMT raises the dynamic share while the "
+                 "SMT-enable overhead itself stays small (<3%).\n";
+    return 0;
+}

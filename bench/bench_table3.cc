@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Regenerates paper Table 3: the energy-per-instruction taxonomy of
+ * the (simulated) POWER7 instructions — per category: core IPC,
+ * global-normalized EPI and category-normalized EPI, with the top
+ * instruction by IPC*EPI product first.
+ */
+
+#include <algorithm>
+#include <map>
+
+#include "bench/common.hh"
+#include "util/table.hh"
+
+using namespace mprobe;
+using namespace mprobe::bench;
+
+namespace
+{
+
+/**
+ * Category label from the bootstrapped unit/rate lists (compute
+ * units only; cache levels are dropped). Units whose rates split
+ * one operation between them (each below ~0.8 per instruction) are
+ * alternatives — "FXU or LSU" — while full-rate units are joint
+ * contributors — "LSU and FXU" — matching the paper's naming.
+ */
+std::string
+categoryOf(const BootstrapEntry &e)
+{
+    std::vector<std::pair<std::string, double>> cu;
+    for (size_t i = 0; i < e.units.size(); ++i) {
+        const std::string &u = e.units[i];
+        if (u == "L1" || u == "L2" || u == "L3" || u == "MEM")
+            continue;
+        cu.push_back({u, e.unitRates[i]});
+    }
+    std::sort(cu.begin(), cu.end());
+    bool all_split = cu.size() >= 2;
+    for (const auto &[u, r] : cu)
+        all_split &= r < 0.8;
+    std::string key;
+    const char *sep = all_split ? " or " : " and ";
+    for (const auto &[u, r] : cu)
+        key += (key.empty() ? "" : sep) + u;
+    return key.empty() ? "none" : key;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Table 3: EPI-based taxonomy of instructions "
+           "(8-core SMT-1, random data)");
+
+    BenchContext ctx(false);
+    BootstrapOptions bo;
+    bo.bodySize = fastMode() ? 512 : 4096;
+    auto entries =
+        bootstrapArchitecture(ctx.arch, ctx.machine, bo);
+
+    // Group by category; normalize EPIs.
+    std::map<std::string, std::vector<BootstrapEntry>> cats;
+    for (const auto &e : entries) {
+        // Barriers / SPR moves / cache management are not part of
+        // the paper's taxonomy.
+        if (ctx.arch.isa()
+                .byName(e.mnemonic)
+                .cls == InstrClass::System)
+            continue;
+        cats[categoryOf(e)].push_back(e);
+    }
+
+    // Global normalization to addic (the paper's reference row).
+    double addic_epi = 0.0;
+    for (const auto &e : entries)
+        if (e.mnemonic == "addic")
+            addic_epi = e.epiNj;
+    if (addic_epi <= 0)
+        fatal("bench_table3: addic was not characterized");
+
+    TextTable t({"Category", "Instr", "Core IPC", "EPI global",
+                 "EPI category"});
+    for (auto &[cat_name, list] : cats) {
+        if (list.size() < 2)
+            continue;
+        // Top = max IPC*EPI; then up to 2 more with the same IPC
+        // but differing EPI (the paper's selection), falling back
+        // to the next-highest EPIs.
+        std::sort(list.begin(), list.end(),
+                  [](const BootstrapEntry &a,
+                     const BootstrapEntry &b) {
+                      return a.throughput * a.epiNj >
+                             b.throughput * b.epiNj;
+                  });
+        const BootstrapEntry &top = list.front();
+        std::vector<const BootstrapEntry *> rows = {&top};
+        // The paper's other two rows share one IPC but differ most
+        // in EPI: pick the same-IPC pair with the widest spread.
+        const BootstrapEntry *hi = nullptr;
+        const BootstrapEntry *lo = nullptr;
+        double best_spread = -1.0;
+        for (const auto &a : list) {
+            for (const auto &b : list) {
+                if (&a == &b || &a == &top || &b == &top)
+                    continue;
+                if (std::abs(a.throughput - b.throughput) > 0.12)
+                    continue;
+                if (a.throughput < 0.5 * top.throughput)
+                    continue;
+                double spread = a.epiNj - b.epiNj;
+                if (spread > best_spread) {
+                    best_spread = spread;
+                    hi = &a;
+                    lo = &b;
+                }
+            }
+        }
+        if (hi && lo) {
+            rows.push_back(hi);
+            rows.push_back(lo);
+        } else {
+            for (const auto &e : list) {
+                if (rows.size() >= 3)
+                    break;
+                if (&e != &top)
+                    rows.push_back(&e);
+            }
+        }
+        double cat_min = 1e300;
+        for (const auto *e : rows)
+            cat_min = std::min(cat_min, e->epiNj);
+        bool first = true;
+        for (const auto *e : rows) {
+            t.addRow({first ? cat_name : "",
+                      e->mnemonic,
+                      TextTable::num(e->throughput, 2),
+                      TextTable::num(e->epiNj / addic_epi, 2),
+                      TextTable::num(e->epiNj / cat_min, 2)});
+            first = false;
+        }
+    }
+    t.print(std::cout);
+
+    // Headline claim: EPI variation between instructions that
+    // stress the same unit *at the same rate* (same IPC).
+    double max_var = 0.0;
+    std::string max_pair;
+    for (auto &[cat_name, list] : cats) {
+        for (const auto &a : list) {
+            for (const auto &b : list) {
+                if (std::abs(a.throughput - b.throughput) > 0.12)
+                    continue;
+                if (b.epiNj <= 0)
+                    continue;
+                double var = (a.epiNj - b.epiNj) / b.epiNj * 100.0;
+                if (var > max_var) {
+                    max_var = var;
+                    max_pair = a.mnemonic + " vs " + b.mnemonic +
+                               " (" + cat_name + ")";
+                }
+            }
+        }
+    }
+    std::cout << "\nLargest same-IPC within-category EPI "
+                 "variation: "
+              << TextTable::num(max_var, 0) << "% (" << max_pair
+              << "); paper reports up to 78%.\n";
+
+    // Zero-data effect (Section 5: up to 40% EPI reduction).
+    {
+        Isa::OpIndex op = ctx.arch.isa().find("xvmaddadp");
+        BootstrapEntry rnd =
+            bootstrapInstruction(ctx.arch, ctx.machine, op, bo);
+        // Zero-toggle variant of the same probe benchmark.
+        Program p;
+        p.isa = &ctx.arch.isa();
+        p.name = "zero-data-xvmaddadp";
+        for (int i = 0; i < 4095; ++i)
+            p.body.push_back({op, 0, -1, 0.0f, 1.0f});
+        p.body.push_back({ctx.arch.isa().find("bdnz"), 0, -1,
+                          0.0f, 1.0f});
+        RunResult r = ctx.machine.run(p, ChipConfig{8, 1});
+        double idle = ctx.machine.idleWatts(ChipConfig{8, 1});
+        double epi_zero = (r.sensorWatts - idle) /
+                          r.rate(r.chip.instrs) * 1e9;
+        std::cout << "Zero-input-data EPI reduction for "
+                     "xvmaddadp: "
+                  << TextTable::num(
+                         (1.0 - epi_zero / rnd.epiNj) * 100, 0)
+                  << "% (paper: up to 40%).\n";
+    }
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Shared setup for the figure/table regeneration benches.
+ *
+ * Every bench binary regenerates one table or figure of the paper's
+ * evaluation: it builds the architecture, bootstraps it, runs the
+ * workloads it needs on the simulated machine, and prints the same
+ * rows/series the paper reports. Set MPROBE_FAST=1 in the
+ * environment for a reduced (quick smoke) corpus.
+ */
+
+#ifndef BENCH_COMMON_HH
+#define BENCH_COMMON_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "microprobe/bootstrap.hh"
+#include "util/logging.hh"
+#include "workloads/pipeline.hh"
+
+namespace mprobe::bench
+{
+
+/** True when MPROBE_FAST=1: smaller corpora for smoke runs. */
+inline bool
+fastMode()
+{
+    const char *v = std::getenv("MPROBE_FAST");
+    return v != nullptr && v[0] == '1';
+}
+
+/** Architecture + machine + bootstrap, shared by all benches. */
+struct BenchContext
+{
+    Architecture arch = Architecture::get("POWER7");
+    Machine machine{arch.isa()};
+
+    explicit BenchContext(bool bootstrap = true)
+    {
+        setLogLevel(LogLevel::Quiet);
+        if (bootstrap) {
+            BootstrapOptions bo;
+            bo.bodySize = fastMode() ? 512 : 2048;
+            bootstrapArchitecture(arch, machine, bo);
+        }
+    }
+};
+
+/** Pipeline options at paper scale (or reduced in fast mode). */
+inline PipelineOptions
+paperPipelineOptions()
+{
+    PipelineOptions po;
+    if (fastMode()) {
+        po.suite.bodySize = 1024;
+        po.suite.perMemoryGroup = 2;
+        po.suite.memoryCount = 4;
+        po.suite.randomCount = 40;
+        po.suite.ipcSearchBudget = 3;
+        po.suite.gaPopulation = 4;
+        po.suite.gaGenerations = 1;
+        po.randomCrossConfig = 16;
+        po.specCount = 10;
+        po.bodySize = 1024;
+    } else {
+        po.suite.bodySize = 4096;
+        po.suite.perMemoryGroup = 10;
+        po.suite.memoryCount = 20;
+        po.suite.randomCount = 331;
+        po.suite.ipcSearchBudget = 6;
+        po.suite.gaPopulation = 12;
+        po.suite.gaGenerations = 5;
+        po.randomCrossConfig = 48;
+        po.specCount = 0; // all 28
+        po.bodySize = 4096;
+    }
+    return po;
+}
+
+/** Print the bench banner. */
+inline void
+banner(const std::string &what)
+{
+    std::cout << "=================================================="
+                 "====\n"
+              << what << "\n"
+              << "(simulated POWER7-like machine; power in "
+                 "normalized units where noted)\n"
+              << "=================================================="
+                 "====\n";
+}
+
+} // namespace mprobe::bench
+
+#endif // BENCH_COMMON_HH

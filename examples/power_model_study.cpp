@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Example: build a bottom-up CMP/SMT power model from generated
+ * micro-benchmarks and use it to decompose the power of a workload
+ * it has never seen (paper Section 4, condensed).
+ *
+ *   $ ./examples/power_model_study
+ */
+
+#include <iostream>
+
+#include "microprobe/bootstrap.hh"
+#include "workloads/pipeline.hh"
+#include "workloads/spec_proxies.hh"
+
+using namespace mprobe;
+
+int
+main()
+{
+    Architecture arch = Architecture::get("POWER7");
+    Machine machine(arch.isa());
+
+    std::cout << "bootstrapping the architecture "
+                 "(latency/throughput/EPI per instruction)...\n";
+    BootstrapOptions bo;
+    bo.bodySize = 1024;
+    bootstrapArchitecture(arch, machine, bo);
+
+    std::cout << "generating + measuring a reduced training "
+                 "corpus and fitting the models...\n";
+    PipelineOptions po;
+    po.suite.bodySize = 1024;
+    po.suite.perMemoryGroup = 3;
+    po.suite.memoryCount = 6;
+    po.suite.randomCount = 60;
+    po.suite.ipcSearchBudget = 4;
+    po.suite.gaPopulation = 6;
+    po.suite.gaGenerations = 2;
+    po.randomCrossConfig = 20;
+    po.specCount = 12;
+    po.bodySize = 1024;
+    ModelExperiment ex = runModelPipeline(arch, machine, po);
+
+    std::cout << "\nfitted bottom-up model:\n  weights (W per "
+                 "Gev/s):";
+    for (size_t i = 0; i < dynamicFeatureNames().size(); ++i)
+        std::cout << " " << dynamicFeatureNames()[i] << "="
+                  << ex.bu.weights()[i];
+    std::cout << "\n  SMT effect  " << ex.bu.smtEffect()
+              << " W/core\n  CMP effect  " << ex.bu.cmpEffect()
+              << " W/core\n  uncore      " << ex.bu.uncore()
+              << " W\n  workload-independent "
+              << ex.bu.workloadIndependent() << " W\n";
+
+    std::cout << "\nvalidation PAAE on the SPEC proxies: "
+              << ex.paaeOf(ex.bu, ex.spec) << "% (BU) vs "
+              << ex.paaeOf(ex.tdRandom, ex.spec)
+              << "% (TD_Random)\n";
+
+    // Decompose a workload the training never saw.
+    Program lbm;
+    for (const auto &r : specRecipes())
+        if (r.name == "lbm")
+            lbm = generateSpecProxy(arch, r, 1024, 0xfeed);
+    RunResult run = machine.run(lbm, ChipConfig{8, 2});
+    Sample s = makeSample("lbm", run);
+    PowerBreakdown b = ex.bu.breakdown(s);
+    std::cout << "\nlbm proxy at 8 cores / SMT-2:\n"
+              << "  measured             " << s.powerWatts
+              << " W\n"
+              << "  predicted            " << b.total() << " W\n"
+              << "  - dynamic            " << b.dynamic << " W\n"
+              << "  - SMT effect         " << b.smtEffect << " W\n"
+              << "  - CMP effect         " << b.cmpEffect << " W\n"
+              << "  - uncore             " << b.uncore << " W\n"
+              << "  - workload-independent "
+              << b.workloadIndependent << " W\n";
+    return 0;
+}

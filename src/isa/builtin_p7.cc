@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Built-in P7-like ISA definition.
+ *
+ * A faithful subset of Power ISA v2.06B sufficient for all of the
+ * paper's case studies: every instruction the paper names appears
+ * here, surrounded by the natural families (byte/half/word/double
+ * variants, indexed and update forms, VMX/VSX compute, decimal
+ * floating point, branches and system operations).
+ *
+ * The definition is kept as text and routed through Isa::fromText so
+ * the exact same parser exercised by user-supplied files also loads
+ * the built-in ISA.
+ */
+
+#include "isa/isa.hh"
+
+namespace mprobe
+{
+
+namespace
+{
+
+const char builtin_text[] = R"ISA(
+# P7-like ISA definition (Power ISA v2.06B subset).
+isa POWER7-like
+version 2.06B
+
+# --- Fixed point: simple arithmetic and logical -------------------
+instr add      type=int width=64 srcs=2 dsts=1
+instr add.     type=int width=64 srcs=2 dsts=1
+instr addc     type=int width=64 srcs=2 dsts=1
+instr adde     type=int width=64 srcs=2 dsts=1
+instr addi     type=int width=64 srcs=1 dsts=1 imm=1
+instr addis    type=int width=64 srcs=1 dsts=1 imm=1
+instr addic    type=int width=64 srcs=1 dsts=1 imm=1
+instr subf     type=int width=64 srcs=2 dsts=1
+instr subfc    type=int width=64 srcs=2 dsts=1
+instr subfe    type=int width=64 srcs=2 dsts=1
+instr subfic   type=int width=64 srcs=1 dsts=1 imm=1
+instr neg      type=int width=64 srcs=1 dsts=1
+instr and      type=int width=64 srcs=2 dsts=1
+instr andc     type=int width=64 srcs=2 dsts=1
+instr andi.    type=int width=64 srcs=1 dsts=1 imm=1
+instr or       type=int width=64 srcs=2 dsts=1
+instr orc      type=int width=64 srcs=2 dsts=1
+instr ori      type=int width=64 srcs=1 dsts=1 imm=1
+instr oris     type=int width=64 srcs=1 dsts=1 imm=1
+instr xor      type=int width=64 srcs=2 dsts=1
+instr xori     type=int width=64 srcs=1 dsts=1 imm=1
+instr nand     type=int width=64 srcs=2 dsts=1
+instr nor      type=int width=64 srcs=2 dsts=1
+instr eqv      type=int width=64 srcs=2 dsts=1
+instr extsb    type=int width=8  srcs=1 dsts=1
+instr extsh    type=int width=16 srcs=1 dsts=1
+instr extsw    type=int width=32 srcs=1 dsts=1
+instr rlwinm   type=int width=32 srcs=1 dsts=1 imm=1
+instr rldicl   type=int width=64 srcs=1 dsts=1 imm=1
+instr rldicr   type=int width=64 srcs=1 dsts=1 imm=1
+instr slw      type=int width=32 srcs=2 dsts=1
+instr srw      type=int width=32 srcs=2 dsts=1
+instr sld      type=int width=64 srcs=2 dsts=1
+instr srd      type=int width=64 srcs=2 dsts=1
+instr sraw     type=int width=32 srcs=2 dsts=1
+instr srad     type=int width=64 srcs=2 dsts=1
+instr srawi    type=int width=32 srcs=1 dsts=1 imm=1
+instr sradi    type=int width=64 srcs=1 dsts=1 imm=1
+instr cmpw     type=int width=32 srcs=2 dsts=1
+instr cmpd     type=int width=64 srcs=2 dsts=1
+instr cmpwi    type=int width=32 srcs=1 dsts=1 imm=1
+instr cmpdi    type=int width=64 srcs=1 dsts=1 imm=1
+instr cmplw    type=int width=32 srcs=2 dsts=1
+instr cmpld    type=int width=64 srcs=2 dsts=1
+instr isel     type=int width=64 srcs=3 dsts=1 flags=cond
+
+# --- Fixed point: complex (multiply/divide/bit count) -------------
+instr mullw    type=int_complex width=32 srcs=2 dsts=1
+instr mulld    type=int_complex width=64 srcs=2 dsts=1
+instr mulldo   type=int_complex width=64 srcs=2 dsts=1
+instr mullwo   type=int_complex width=32 srcs=2 dsts=1
+instr mulhw    type=int_complex width=32 srcs=2 dsts=1
+instr mulhd    type=int_complex width=64 srcs=2 dsts=1
+instr mulhwu   type=int_complex width=32 srcs=2 dsts=1
+instr mulhdu   type=int_complex width=64 srcs=2 dsts=1
+instr mulli    type=int_complex width=64 srcs=1 dsts=1 imm=1
+instr divw     type=int_complex width=32 srcs=2 dsts=1
+instr divd     type=int_complex width=64 srcs=2 dsts=1
+instr divwu    type=int_complex width=32 srcs=2 dsts=1
+instr divdu    type=int_complex width=64 srcs=2 dsts=1
+instr popcntw  type=int_complex width=32 srcs=1 dsts=1
+instr popcntd  type=int_complex width=64 srcs=1 dsts=1
+instr cntlzw   type=int_complex width=32 srcs=1 dsts=1
+instr cntlzd   type=int_complex width=64 srcs=1 dsts=1
+
+# --- Fixed point loads ---------------------------------------------
+instr lbz      type=load width=8  srcs=1 dsts=1 imm=1
+instr lhz      type=load width=16 srcs=1 dsts=1 imm=1
+instr lwz      type=load width=32 srcs=1 dsts=1 imm=1
+instr ld       type=load width=64 srcs=1 dsts=1 imm=1
+instr lha      type=load width=16 srcs=1 dsts=1 imm=1 flags=algebraic
+instr lwa      type=load width=32 srcs=1 dsts=1 imm=1 flags=algebraic
+instr lbzx     type=load width=8  srcs=2 dsts=1 flags=indexed
+instr lhzx     type=load width=16 srcs=2 dsts=1 flags=indexed
+instr lwzx     type=load width=32 srcs=2 dsts=1 flags=indexed
+instr ldx      type=load width=64 srcs=2 dsts=1 flags=indexed
+instr lhax     type=load width=16 srcs=2 dsts=1 flags=algebraic,indexed
+instr lwax     type=load width=32 srcs=2 dsts=1 flags=algebraic,indexed
+instr lbzu     type=load width=8  srcs=1 dsts=2 imm=1 flags=update
+instr lhzu     type=load width=16 srcs=1 dsts=2 imm=1 flags=update
+instr lwzu     type=load width=32 srcs=1 dsts=2 imm=1 flags=update
+instr ldu      type=load width=64 srcs=1 dsts=2 imm=1 flags=update
+instr lhau     type=load width=16 srcs=1 dsts=2 imm=1 flags=algebraic,update
+instr lbzux    type=load width=8  srcs=2 dsts=2 flags=update,indexed
+instr lhzux    type=load width=16 srcs=2 dsts=2 flags=update,indexed
+instr lwzux    type=load width=32 srcs=2 dsts=2 flags=update,indexed
+instr ldux     type=load width=64 srcs=2 dsts=2 flags=update,indexed
+instr lhaux    type=load width=16 srcs=2 dsts=2 flags=algebraic,update,indexed
+instr lwaux    type=load width=32 srcs=2 dsts=2 flags=algebraic,update,indexed
+
+# --- Fixed point stores --------------------------------------------
+instr stb      type=store width=8  srcs=2 dsts=0 imm=1
+instr sth      type=store width=16 srcs=2 dsts=0 imm=1
+instr stw      type=store width=32 srcs=2 dsts=0 imm=1
+instr std      type=store width=64 srcs=2 dsts=0 imm=1
+instr stbx     type=store width=8  srcs=3 dsts=0 flags=indexed
+instr sthx     type=store width=16 srcs=3 dsts=0 flags=indexed
+instr stwx     type=store width=32 srcs=3 dsts=0 flags=indexed
+instr stdx     type=store width=64 srcs=3 dsts=0 flags=indexed
+instr stbu     type=store width=8  srcs=2 dsts=1 imm=1 flags=update
+instr sthu     type=store width=16 srcs=2 dsts=1 imm=1 flags=update
+instr stwu     type=store width=32 srcs=2 dsts=1 imm=1 flags=update
+instr stdu     type=store width=64 srcs=2 dsts=1 imm=1 flags=update
+instr stbux    type=store width=8  srcs=3 dsts=1 flags=update,indexed
+instr sthux    type=store width=16 srcs=3 dsts=1 flags=update,indexed
+instr stwux    type=store width=32 srcs=3 dsts=1 flags=update,indexed
+instr stdux    type=store width=64 srcs=3 dsts=1 flags=update,indexed
+
+# --- Floating point loads/stores ------------------------------------
+instr lfs      type=load width=32 srcs=1 dsts=1 imm=1 flags=float
+instr lfd      type=load width=64 srcs=1 dsts=1 imm=1 flags=float
+instr lfsx     type=load width=32 srcs=2 dsts=1 flags=float,indexed
+instr lfdx     type=load width=64 srcs=2 dsts=1 flags=float,indexed
+instr lfsu     type=load width=32 srcs=1 dsts=2 imm=1 flags=float,update
+instr lfdu     type=load width=64 srcs=1 dsts=2 imm=1 flags=float,update
+instr lfsux    type=load width=32 srcs=2 dsts=2 flags=float,update,indexed
+instr lfdux    type=load width=64 srcs=2 dsts=2 flags=float,update,indexed
+instr stfs     type=store width=32 srcs=2 dsts=0 imm=1 flags=float
+instr stfd     type=store width=64 srcs=2 dsts=0 imm=1 flags=float
+instr stfsx    type=store width=32 srcs=3 dsts=0 flags=float,indexed
+instr stfdx    type=store width=64 srcs=3 dsts=0 flags=float,indexed
+instr stfsu    type=store width=32 srcs=2 dsts=1 imm=1 flags=float,update
+instr stfdu    type=store width=64 srcs=2 dsts=1 imm=1 flags=float,update
+instr stfsux   type=store width=32 srcs=3 dsts=1 flags=float,update,indexed
+instr stfdux   type=store width=64 srcs=3 dsts=1 flags=float,update,indexed
+instr stfiwx   type=store width=32 srcs=3 dsts=0 flags=float,indexed
+
+# --- Vector (VMX) loads/stores --------------------------------------
+instr lvx      type=load width=128 srcs=2 dsts=1 flags=vector,indexed
+instr lvxl     type=load width=128 srcs=2 dsts=1 flags=vector,indexed
+instr lvebx    type=load width=8   srcs=2 dsts=1 flags=vector,indexed
+instr lvehx    type=load width=16  srcs=2 dsts=1 flags=vector,indexed
+instr lvewx    type=load width=32  srcs=2 dsts=1 flags=vector,indexed
+instr stvx     type=store width=128 srcs=3 dsts=0 flags=vector,indexed
+instr stvxl    type=store width=128 srcs=3 dsts=0 flags=vector,indexed
+instr stvebx   type=store width=8   srcs=3 dsts=0 flags=vector,indexed
+instr stvehx   type=store width=16  srcs=3 dsts=0 flags=vector,indexed
+instr stvewx   type=store width=32  srcs=3 dsts=0 flags=vector,indexed
+
+# --- VSX loads/stores -------------------------------------------------
+instr lxvd2x   type=load width=128 srcs=2 dsts=1 flags=vector,indexed
+instr lxvw4x   type=load width=128 srcs=2 dsts=1 flags=vector,indexed
+instr lxvdsx   type=load width=64  srcs=2 dsts=1 flags=vector,indexed
+instr lxsdx    type=load width=64  srcs=2 dsts=1 flags=vector,indexed
+instr stxvd2x  type=store width=128 srcs=3 dsts=0 flags=vector,indexed
+instr stxvw4x  type=store width=128 srcs=3 dsts=0 flags=vector,indexed
+instr stxsdx   type=store width=64  srcs=3 dsts=0 flags=vector,indexed
+
+# --- Scalar floating point compute -----------------------------------
+instr fadd     type=float width=64 srcs=2 dsts=1
+instr fadds    type=float width=32 srcs=2 dsts=1
+instr fsub     type=float width=64 srcs=2 dsts=1
+instr fsubs    type=float width=32 srcs=2 dsts=1
+instr fmul     type=float width=64 srcs=2 dsts=1
+instr fmuls    type=float width=32 srcs=2 dsts=1
+instr fdiv     type=float width=64 srcs=2 dsts=1
+instr fdivs    type=float width=32 srcs=2 dsts=1
+instr fmadd    type=float width=64 srcs=3 dsts=1
+instr fmsub    type=float width=64 srcs=3 dsts=1
+instr fnmadd   type=float width=64 srcs=3 dsts=1
+instr fnmsub   type=float width=64 srcs=3 dsts=1
+instr fsqrt    type=float width=64 srcs=1 dsts=1
+instr fres     type=float width=32 srcs=1 dsts=1
+instr frsqrte  type=float width=64 srcs=1 dsts=1
+instr fabs     type=float width=64 srcs=1 dsts=1
+instr fneg     type=float width=64 srcs=1 dsts=1
+instr fmr      type=float width=64 srcs=1 dsts=1
+instr fcfid    type=float width=64 srcs=1 dsts=1
+instr fctid    type=float width=64 srcs=1 dsts=1
+instr fcmpu    type=float width=64 srcs=2 dsts=1
+
+# --- VSX scalar compute ------------------------------------------------
+instr xsadddp   type=float width=64 srcs=2 dsts=1
+instr xssubdp   type=float width=64 srcs=2 dsts=1
+instr xsmuldp   type=float width=64 srcs=2 dsts=1
+instr xsdivdp   type=float width=64 srcs=2 dsts=1
+instr xsmaddadp type=float width=64 srcs=3 dsts=1
+instr xsmsubadp type=float width=64 srcs=3 dsts=1
+instr xssqrtdp  type=float width=64 srcs=1 dsts=1
+instr xstsqrtdp type=float width=64 srcs=1 dsts=1
+instr xsredp    type=float width=64 srcs=1 dsts=1
+
+# --- VSX vector compute -------------------------------------------------
+instr xvadddp    type=vector width=128 srcs=2 dsts=1
+instr xvsubdp    type=vector width=128 srcs=2 dsts=1
+instr xvmuldp    type=vector width=128 srcs=2 dsts=1
+instr xvdivdp    type=vector width=128 srcs=2 dsts=1
+instr xvmaddadp  type=vector width=128 srcs=3 dsts=1
+instr xvmaddmdp  type=vector width=128 srcs=3 dsts=1
+instr xvmsubadp  type=vector width=128 srcs=3 dsts=1
+instr xvnmsubadp type=vector width=128 srcs=3 dsts=1
+instr xvnmsubmdp type=vector width=128 srcs=3 dsts=1
+instr xvsqrtdp   type=vector width=128 srcs=1 dsts=1
+instr xvredp     type=vector width=128 srcs=1 dsts=1
+instr xvaddsp    type=vector width=128 srcs=2 dsts=1
+instr xvsubsp    type=vector width=128 srcs=2 dsts=1
+instr xvmulsp    type=vector width=128 srcs=2 dsts=1
+instr xvmaddasp  type=vector width=128 srcs=3 dsts=1
+instr xvnmsubasp type=vector width=128 srcs=3 dsts=1
+
+# --- Vector (VMX) integer/permute compute --------------------------------
+instr vaddubm  type=vector width=128 srcs=2 dsts=1
+instr vadduhm  type=vector width=128 srcs=2 dsts=1
+instr vadduwm  type=vector width=128 srcs=2 dsts=1
+instr vsububm  type=vector width=128 srcs=2 dsts=1
+instr vmuloub  type=vector width=128 srcs=2 dsts=1
+instr vmulouh  type=vector width=128 srcs=2 dsts=1
+instr vmsumubm type=vector width=128 srcs=3 dsts=1
+instr vand     type=vector width=128 srcs=2 dsts=1
+instr vor      type=vector width=128 srcs=2 dsts=1
+instr vxor     type=vector width=128 srcs=2 dsts=1
+instr vnor     type=vector width=128 srcs=2 dsts=1
+instr vperm    type=vector width=128 srcs=3 dsts=1
+instr vsplth   type=vector width=128 srcs=1 dsts=1 imm=1
+instr vspltw   type=vector width=128 srcs=1 dsts=1 imm=1
+instr vsl      type=vector width=128 srcs=2 dsts=1
+instr vsr      type=vector width=128 srcs=2 dsts=1
+
+# --- Decimal floating point ------------------------------------------------
+instr dadd     type=decimal width=64 srcs=2 dsts=1
+instr dsub     type=decimal width=64 srcs=2 dsts=1
+instr dmul     type=decimal width=64 srcs=2 dsts=1
+instr ddiv     type=decimal width=64 srcs=2 dsts=1
+instr dquai    type=decimal width=64 srcs=1 dsts=1 imm=1
+instr drintn   type=decimal width=64 srcs=1 dsts=1
+instr dcmpu    type=decimal width=64 srcs=2 dsts=1
+
+# --- Branches -----------------------------------------------------------
+instr b        type=branch width=64 srcs=0 dsts=0 imm=1
+instr bl       type=branch width=64 srcs=0 dsts=1 imm=1
+instr bc       type=branch width=64 srcs=1 dsts=0 imm=1 flags=cond
+instr bcl      type=branch width=64 srcs=1 dsts=1 imm=1 flags=cond
+instr blr      type=branch width=64 srcs=1 dsts=0
+instr bctr     type=branch width=64 srcs=1 dsts=0
+instr bdnz     type=branch width=64 srcs=1 dsts=1 imm=1 flags=cond
+
+# --- Condition register logical ------------------------------------------
+instr crand    type=condreg width=4 srcs=2 dsts=1
+instr cror     type=condreg width=4 srcs=2 dsts=1
+instr crxor    type=condreg width=4 srcs=2 dsts=1
+instr crnand   type=condreg width=4 srcs=2 dsts=1
+instr mcrf     type=condreg width=4 srcs=1 dsts=1
+instr mtcrf    type=condreg width=32 srcs=1 dsts=1
+
+# --- System / SPR / cache management --------------------------------------
+instr mtctr    type=system width=64 srcs=1 dsts=1
+instr mfctr    type=system width=64 srcs=1 dsts=1
+instr mtlr     type=system width=64 srcs=1 dsts=1
+instr mflr     type=system width=64 srcs=1 dsts=1
+instr isync    type=system width=64 srcs=0 dsts=0
+instr sync     type=system width=64 srcs=0 dsts=0
+instr lwsync   type=system width=64 srcs=0 dsts=0
+instr eieio    type=system width=64 srcs=0 dsts=0
+instr dcbt     type=system width=64 srcs=2 dsts=0 flags=prefetch
+instr dcbtst   type=system width=64 srcs=2 dsts=0 flags=prefetch
+instr dcbz     type=system width=64 srcs=2 dsts=0
+instr icbi     type=system width=64 srcs=2 dsts=0
+instr tlbie    type=system width=64 srcs=1 dsts=0 flags=priv
+instr mtmsr    type=system width=64 srcs=1 dsts=0 flags=priv
+instr mfmsr    type=system width=64 srcs=0 dsts=1 flags=priv
+)ISA";
+
+} // namespace
+
+const std::string &
+builtinP7IsaText()
+{
+    static const std::string text(builtin_text);
+    return text;
+}
+
+const Isa &
+builtinP7Isa()
+{
+    static const Isa isa =
+        Isa::fromText(builtinP7IsaText(), "<builtin-p7>");
+    return isa;
+}
+
+} // namespace mprobe

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Bootstrap implementation.
+ */
+
+#include "microprobe/bootstrap.hh"
+
+#include <cmath>
+
+#include "microprobe/passes.hh"
+#include "microprobe/synthesizer.hh"
+#include "util/logging.hh"
+
+namespace mprobe
+{
+
+namespace
+{
+
+/** Build the probing micro-benchmark for one instruction. */
+Program
+probeBench(Architecture &arch, Isa::OpIndex op, bool chained,
+           const BootstrapOptions &opts)
+{
+    const InstrDef &d = arch.isa().at(op);
+    Synthesizer synth(arch, opts.seed ^ static_cast<uint64_t>(op));
+    synth.addPass<SkeletonPass>(opts.bodySize);
+    synth.addPass<SequencePass>(std::vector<Isa::OpIndex>{op});
+    if (d.isMemory() || d.prefetch) {
+        // Probe benchmarks keep all accesses in the L1 so timing
+        // and energy reflect the instruction, not the hierarchy.
+        synth.addPass<MemoryModelPass>(MemDistribution{1, 0, 0, 0});
+    }
+    // Random data minimizes data-switching bias, "allowing fair
+    // comparison between instructions" (Section 2.1.2).
+    synth.addPass<RegisterInitPass>(DataPattern::Random);
+    synth.addPass<ImmediateInitPass>(DataPattern::Random);
+    if (chained)
+        synth.add(std::make_unique<DependencyDistancePass>(
+            DependencyDistancePass::chain()));
+    else
+        synth.add(std::make_unique<DependencyDistancePass>(
+            DependencyDistancePass::none()));
+    return synth.synthesize(
+        cat("bootstrap-", d.name, chained ? "-chain" : "-free"));
+}
+
+} // namespace
+
+BootstrapEntry
+bootstrapInstruction(Architecture &arch, const Machine &machine,
+                     Isa::OpIndex op, const BootstrapOptions &opts)
+{
+    const InstrDef &d = arch.isa().at(op);
+
+    Program chain = probeBench(arch, op, true, opts);
+    Program free = probeBench(arch, op, false, opts);
+
+    RunResult r_chain = machine.run(chain, opts.config);
+    RunResult r_free = machine.run(free, opts.config);
+    double idle = machine.idleWatts(opts.config);
+
+    BootstrapEntry e;
+    e.mnemonic = d.name;
+
+    // Chained consecutive instances expose the result latency.
+    double ipc_chain = r_chain.coreIpc;
+    e.latency = ipc_chain > 1e-9 ? 1.0 / ipc_chain : 0.0;
+    // Independent instances expose the sustained throughput.
+    e.throughput = r_free.coreIpc;
+
+    // Units stressed: per-unit finish rate per instruction.
+    double instrs = std::max(r_free.chip.instrs, 1.0);
+    auto rate = [&](double ops) { return ops / instrs; };
+    struct UnitRate
+    {
+        const char *name;
+        double r;
+    };
+    const UnitRate unit_rates[] = {
+        {"FXU", rate(r_free.chip.fxuOps)},
+        {"LSU", rate(r_free.chip.lsuOps)},
+        {"VSU", rate(r_free.chip.vsuOps)},
+        {"BRU", rate(r_free.chip.bruOps)},
+        {"CRU", rate(r_free.chip.cruOps)},
+    };
+    for (const auto &ur : unit_rates) {
+        if (ur.r < opts.unitThreshold)
+            continue;
+        long mult = std::lround(ur.r);
+        if (mult >= 2)
+            e.units.push_back(cat(mult, ur.name));
+        else
+            e.units.push_back(ur.name);
+        e.unitRates.push_back(ur.r);
+    }
+    const UnitRate level_rates[] = {
+        {"L1", rate(r_free.chip.l1Hits)},
+        {"L2", rate(r_free.chip.l2Hits)},
+        {"L3", rate(r_free.chip.l3Hits)},
+        {"MEM", rate(r_free.chip.memAcc)},
+    };
+    for (const auto &lr : level_rates) {
+        if (lr.r >= opts.unitThreshold) {
+            e.units.push_back(lr.name);
+            e.unitRates.push_back(lr.r);
+        }
+    }
+
+    // EPI and sustained power from the sensor (dynamic = above
+    // idle), using the dependency-free version (Section 2.1.2).
+    e.powerWatts = std::max(r_free.sensorWatts - idle, 0.0);
+    double instr_rate = r_free.rate(r_free.chip.instrs);
+    e.epiNj =
+        instr_rate > 0 ? e.powerWatts / instr_rate * 1e9 : 0.0;
+
+    // Record into the micro-architecture definition.
+    InstrProps &p = arch.uarchMut().propsMut(d.name);
+    p.latency = e.latency;
+    p.throughput = e.throughput;
+    p.epi = e.epiNj;
+    p.avgPower = e.powerWatts;
+    p.units = e.units;
+    return e;
+}
+
+std::vector<BootstrapEntry>
+bootstrapArchitecture(Architecture &arch, const Machine &machine,
+                      const BootstrapOptions &opts)
+{
+    std::vector<BootstrapEntry> out;
+    for (size_t i = 0; i < arch.isa().size(); ++i) {
+        auto op = static_cast<Isa::OpIndex>(i);
+        const InstrDef &d = arch.isa().at(op);
+        if (opts.skipPrivileged && d.privileged)
+            continue;
+        out.push_back(
+            bootstrapInstruction(arch, machine, op, opts));
+    }
+    inform(cat("bootstrap: characterized ", out.size(), " of ",
+               arch.isa().size(), " instructions"));
+    return out;
+}
+
+} // namespace mprobe

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Analytical cache model implementation.
+ */
+
+#include "microprobe/cache_model.hh"
+
+#include "util/logging.hh"
+
+namespace mprobe
+{
+
+namespace
+{
+
+int
+log2i(uint64_t v)
+{
+    int s = 0;
+    while ((1ull << s) < v)
+        ++s;
+    if ((1ull << s) != v)
+        fatal(cat("analytical cache model requires power-of-two "
+                  "geometry, got ", v));
+    return s;
+}
+
+/**
+ * Two L1 sets are reserved per target level; the low bit of the
+ * stream index alternates between them.
+ */
+int
+partitionBase(HitLevel level)
+{
+    return static_cast<int>(level) * 2;
+}
+
+} // namespace
+
+AnalyticalCacheModel::AnalyticalCacheModel(const UarchDef &uarch)
+{
+    auto geoms = uarch.cacheGeometries();
+    if (geoms.size() != 3)
+        fatal(cat("analytical cache model expects 3 cache levels, "
+                  "got ", geoms.size()));
+    for (size_t i = 0; i < 3; ++i)
+        geom[i] = geoms[i];
+    line_shift = log2i(static_cast<uint64_t>(geom[0].lineBytes));
+    for (size_t i = 0; i < 3; ++i) {
+        if (geom[i].lineBytes != geom[0].lineBytes)
+            fatal("cache model: levels must share one line size");
+        index_bits[i] = log2i(geom[i].sets());
+        if (i > 0 && index_bits[i] <= index_bits[i - 1])
+            fatal("cache model: set counts must grow per level");
+    }
+    // Partitioning uses 3 low index bits (4 targets x 2 sets) and
+    // thread striping uses the next 2; the L1 must have at least 32
+    // sets.
+    if (index_bits[0] < 5)
+        fatal("cache model: L1 needs at least 32 sets");
+    tag_shift = line_shift + index_bits[2];
+}
+
+int
+AnalyticalCacheModel::linesFor(HitLevel level) const
+{
+    switch (level) {
+      case HitLevel::L1:
+        // Half the L1 ways: guaranteed resident.
+        return geom[0].assoc / 2;
+      case HitLevel::L2:
+      case HitLevel::L3:
+        // One more line than the ways of every level to defeat.
+        return geom[0].assoc + 1;
+      case HitLevel::Mem:
+        return geom[2].assoc + 1;
+    }
+    panic("linesFor: bad level");
+}
+
+std::pair<int, int>
+AnalyticalCacheModel::setField(int level) const
+{
+    if (level < 0 || level > 2)
+        panic(cat("setField: bad level ", level));
+    return {line_shift, index_bits[static_cast<size_t>(level)]};
+}
+
+TargetedStream
+AnalyticalCacheModel::makeStream(HitLevel level, int idx) const
+{
+    TargetedStream out;
+    out.target = level;
+
+    const int k = linesFor(level);
+    const uint64_t l1set =
+        static_cast<uint64_t>(partitionBase(level) + (idx & 1));
+    const int ext2_shift = line_shift + index_bits[0];
+    const int ext2_bits = index_bits[1] - index_bits[0];
+    const int ext3_shift = line_shift + index_bits[1];
+    const int ext3_bits = index_bits[2] - index_bits[1];
+    const uint64_t base = l1set << line_shift;
+    const uint64_t tag_base =
+        (static_cast<uint64_t>(idx) >> 1) * 64;
+
+    std::vector<uint64_t> lines;
+    lines.reserve(static_cast<size_t>(k));
+    for (int i = 0; i < k; ++i) {
+        uint64_t addr = base;
+        switch (level) {
+          case HitLevel::L1:
+            // Same set everywhere; <= ways lines: always resident.
+            addr |= (tag_base + static_cast<uint64_t>(i))
+                    << tag_shift;
+            break;
+          case HitLevel::L2: {
+            // Alias in L1 (k > L1 ways), spread over the L2 index
+            // extension bits so at most ceil(k/2^ext2) lines share
+            // an L2 set.
+            uint64_t b = static_cast<uint64_t>(i) &
+                         ((1ull << ext2_bits) - 1);
+            uint64_t t = tag_base +
+                         (static_cast<uint64_t>(i) >> ext2_bits);
+            addr |= (b << ext2_shift) | (t << tag_shift);
+            break;
+          }
+          case HitLevel::L3: {
+            // Alias in L1 and L2, spread over the L3 extension bits.
+            uint64_t c = static_cast<uint64_t>(i) &
+                         ((1ull << ext3_bits) - 1);
+            uint64_t t = tag_base +
+                         (static_cast<uint64_t>(i) >> ext3_bits);
+            addr |= (c << ext3_shift) | (t << tag_shift);
+            break;
+          }
+          case HitLevel::Mem:
+            // Alias in every level with more lines than L3 ways.
+            addr |= (tag_base + static_cast<uint64_t>(i))
+                    << tag_shift;
+            break;
+        }
+        lines.push_back(addr);
+    }
+
+    // Scatter the visit order with a stride coprime to k so
+    // consecutive accesses are never adjacent lines (defeats the
+    // next-line prefetcher, per the paper's randomization note).
+    int stride = 1;
+    for (int cand : {5, 4, 3, 2}) {
+        if (k > cand && k % cand != 0) {
+            stride = cand;
+            break;
+        }
+    }
+    out.stream.lines.reserve(lines.size());
+    for (int i = 0; i < k; ++i)
+        out.stream.lines.push_back(
+            lines[static_cast<size_t>((i * stride) % k)]);
+    return out;
+}
+
+} // namespace mprobe

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Analytical set-associative cache model (paper Section 2.1.3).
+ *
+ * Statically constructs memory-access streams whose steady-state hit
+ * level is *guaranteed*, removing the need for a design space
+ * exploration per target memory activity. The construction follows
+ * the paper's two observations:
+ *
+ *  1. With the set fields of every cache level known (Figure 3b), the
+ *     generator controls which set an access lands in at each level.
+ *  2. Accessing more distinct lines than the associativity of a set
+ *     inside an endless loop guarantees steady-state misses in that
+ *     set; accessing at most the associativity guarantees hits.
+ *
+ * A stream targeting level T therefore uses K lines that all alias in
+ * every level below T (forcing misses) while spreading across sets —
+ * or fitting within one set's ways — at level T (guaranteeing hits).
+ * Disjoint set partitions per target level keep streams from
+ * interfering, and line order within a stream is scattered so the
+ * next-line hardware prefetcher cannot help (the paper's
+ * randomization requirement).
+ */
+
+#ifndef MICROPROBE_CACHE_MODEL_HH
+#define MICROPROBE_CACHE_MODEL_HH
+
+#include <array>
+#include <vector>
+
+#include "sim/cache.hh"
+#include "sim/program.hh"
+#include "uarch/uarch.hh"
+
+namespace mprobe
+{
+
+/** Target hit distribution over {L1, L2, L3, MEM}; sums to ~1. */
+struct MemDistribution
+{
+    double l1 = 1.0;
+    double l2 = 0.0;
+    double l3 = 0.0;
+    double mem = 0.0;
+
+    double
+    at(int level) const
+    {
+        switch (level) {
+          case 0: return l1;
+          case 1: return l2;
+          case 2: return l3;
+          default: return mem;
+        }
+    }
+};
+
+/** A generated stream plus its guaranteed target level. */
+struct TargetedStream
+{
+    MemStream stream;
+    HitLevel target = HitLevel::L1;
+};
+
+/** Builds guaranteed-hit-level streams for a cache hierarchy. */
+class AnalyticalCacheModel
+{
+  public:
+    /** Construct from the uarch definition's cache geometry. */
+    explicit AnalyticalCacheModel(const UarchDef &uarch);
+
+    /**
+     * Build the @p idx'th stream targeting @p level. Streams with
+     * different indices use disjoint tag ranges; all streams use
+     * set partitions disjoint from other target levels.
+     */
+    TargetedStream makeStream(HitLevel level, int idx = 0) const;
+
+    /** Lines per stream for a target level. */
+    int linesFor(HitLevel level) const;
+
+    /**
+     * Bits of the address that select the set at cache level
+     * @p level (0-based), as (shift, width) — the Figure 3b fields.
+     */
+    std::pair<int, int> setField(int level) const;
+
+    /** First address bit above every set field (tag-only stride). */
+    int tagShift() const { return tag_shift; }
+
+  private:
+    std::array<CacheGeometry, 3> geom;
+    int line_shift;
+    std::array<int, 3> index_bits; // set-field width per level
+    int tag_shift;
+};
+
+} // namespace mprobe
+
+#endif // MICROPROBE_CACHE_MODEL_HH

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Search driver implementations.
+ */
+
+#include "microprobe/dse.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace mprobe
+{
+
+std::vector<double>
+SearchDriver::fitnessValues() const
+{
+    std::vector<double> out;
+    out.reserve(hist.size());
+    for (const auto &e : hist)
+        out.push_back(e.fitness);
+    return out;
+}
+
+Evaluated &
+SearchDriver::record(DesignPoint p, double fitness)
+{
+    hist.push_back({std::move(p), fitness});
+    return hist.back();
+}
+
+namespace
+{
+
+void
+validateSpace(const std::vector<ParamDomain> &space)
+{
+    if (space.empty())
+        fatal("DSE: empty design space");
+    for (const auto &d : space)
+        if (d.hi < d.lo)
+            fatal(cat("DSE: empty domain '", d.name, "'"));
+}
+
+Evaluated
+bestOf(const std::vector<Evaluated> &hist)
+{
+    if (hist.empty())
+        fatal("DSE: search evaluated no points");
+    return *std::max_element(
+        hist.begin(), hist.end(),
+        [](const Evaluated &a, const Evaluated &b) {
+            return a.fitness < b.fitness;
+        });
+}
+
+} // namespace
+
+// ---------------------------------------------------------------
+// ExhaustiveSearch
+
+ExhaustiveSearch::ExhaustiveSearch(FilterFn f, size_t max_points)
+    : filter(std::move(f)), maxPoints(max_points)
+{
+}
+
+Evaluated
+ExhaustiveSearch::search(const std::vector<ParamDomain> &space,
+                         const EvalFn &eval)
+{
+    validateSpace(space);
+    hist.clear();
+
+    double total = 1.0;
+    for (const auto &d : space)
+        total *= static_cast<double>(d.size());
+    if (total > static_cast<double>(maxPoints) * 64.0)
+        fatal(cat("DSE: exhaustive space of ", total,
+                  " points is impractical; use the GA driver"));
+
+    DesignPoint p;
+    p.reserve(space.size());
+    for (const auto &d : space)
+        p.push_back(d.lo);
+
+    size_t evaluated = 0;
+    for (;;) {
+        if (!filter || filter(p)) {
+            if (++evaluated > maxPoints)
+                fatal(cat("DSE: exhaustive search exceeded ",
+                          maxPoints, " evaluations"));
+            record(p, eval(p));
+        }
+        // Odometer increment.
+        size_t i = 0;
+        for (; i < space.size(); ++i) {
+            if (p[i] < space[i].hi) {
+                ++p[i];
+                break;
+            }
+            p[i] = space[i].lo;
+        }
+        if (i == space.size())
+            break;
+    }
+    return bestOf(hist);
+}
+
+// ---------------------------------------------------------------
+// GeneticSearch
+
+GeneticSearch::GeneticSearch(GaOptions o) : opts(o)
+{
+    if (opts.population < 2 || opts.generations < 1)
+        fatal("DSE: GA needs population >= 2 and generations >= 1");
+    if (opts.elites >= opts.population)
+        fatal("DSE: GA elites must be below the population size");
+}
+
+Evaluated
+GeneticSearch::search(const std::vector<ParamDomain> &space,
+                      const EvalFn &eval)
+{
+    validateSpace(space);
+    hist.clear();
+    Rng rng(opts.seed);
+
+    auto randomPoint = [&]() {
+        DesignPoint p(space.size());
+        for (size_t i = 0; i < space.size(); ++i)
+            p[i] = static_cast<int>(
+                rng.range(space[i].lo, space[i].hi));
+        return p;
+    };
+
+    struct Member
+    {
+        DesignPoint p;
+        double fit;
+    };
+    std::vector<Member> pop;
+    pop.reserve(static_cast<size_t>(opts.population));
+    for (int i = 0; i < opts.population; ++i) {
+        DesignPoint p = randomPoint();
+        double f = eval(p);
+        record(p, f);
+        pop.push_back({std::move(p), f});
+    }
+
+    auto tournamentPick = [&]() -> const Member & {
+        const Member *best = nullptr;
+        for (int t = 0; t < opts.tournament; ++t) {
+            const Member &m = pop[rng.pick(pop.size())];
+            if (!best || m.fit > best->fit)
+                best = &m;
+        }
+        return *best;
+    };
+
+    for (int g = 0; g < opts.generations; ++g) {
+        std::sort(pop.begin(), pop.end(),
+                  [](const Member &a, const Member &b) {
+                      return a.fit > b.fit;
+                  });
+        std::vector<Member> next(
+            pop.begin(), pop.begin() + opts.elites);
+        while (static_cast<int>(next.size()) < opts.population) {
+            DesignPoint child = tournamentPick().p;
+            if (rng.chance(opts.crossoverRate)) {
+                const DesignPoint &other = tournamentPick().p;
+                for (size_t i = 0; i < child.size(); ++i)
+                    if (rng.chance(0.5))
+                        child[i] = other[i];
+            }
+            for (size_t i = 0; i < child.size(); ++i)
+                if (rng.chance(opts.mutationRate))
+                    child[i] = static_cast<int>(
+                        rng.range(space[i].lo, space[i].hi));
+            double f = eval(child);
+            record(child, f);
+            next.push_back({std::move(child), f});
+        }
+        pop = std::move(next);
+    }
+    return bestOf(hist);
+}
+
+// ---------------------------------------------------------------
+// RandomSearch
+
+RandomSearch::RandomSearch(size_t b, uint64_t s)
+    : budget(b), seed(s)
+{
+    if (b == 0)
+        fatal("DSE: random search needs a positive budget");
+}
+
+Evaluated
+RandomSearch::search(const std::vector<ParamDomain> &space,
+                     const EvalFn &eval)
+{
+    validateSpace(space);
+    hist.clear();
+    Rng rng(seed);
+    for (size_t i = 0; i < budget; ++i) {
+        DesignPoint p(space.size());
+        for (size_t j = 0; j < space.size(); ++j)
+            p[j] = static_cast<int>(
+                rng.range(space[j].lo, space[j].hi));
+        record(p, eval(p));
+    }
+    return bestOf(hist);
+}
+
+// ---------------------------------------------------------------
+// UserGuidedSearch
+
+UserGuidedSearch::UserGuidedSearch(ProposeFn p, size_t max_points)
+    : propose(std::move(p)), maxPoints(max_points)
+{
+    if (!propose)
+        fatal("DSE: user-guided search needs a proposal callback");
+}
+
+Evaluated
+UserGuidedSearch::search(const std::vector<ParamDomain> &space,
+                         const EvalFn &eval)
+{
+    validateSpace(space);
+    hist.clear();
+    DesignPoint p(space.size());
+    while (hist.size() < maxPoints && propose(hist, p)) {
+        for (size_t i = 0; i < space.size(); ++i)
+            if (p[i] < space[i].lo || p[i] > space[i].hi)
+                fatal(cat("DSE: proposed value ", p[i],
+                          " outside domain '", space[i].name, "'"));
+        record(p, eval(p));
+    }
+    return bestOf(hist);
+}
+
+} // namespace mprobe

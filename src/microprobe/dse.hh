@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Integrated design-space exploration (paper Section 2.3).
+ *
+ * A design space is a vector of integer parameter domains; a point
+ * (genome) is one value per parameter. The user supplies an
+ * evaluation function mapping a point to a fitness (e.g. "generate
+ * the micro-benchmark this point encodes, run it, return measured
+ * power"). Three search drivers are provided — exhaustive, genetic
+ * and user-guided — all recording every evaluated point so benches
+ * can report min/mean/max over a whole set (Figure 9).
+ */
+
+#ifndef MICROPROBE_DSE_HH
+#define MICROPROBE_DSE_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace mprobe
+{
+
+/** One integer-valued search dimension. */
+struct ParamDomain
+{
+    std::string name;
+    int lo = 0;
+    int hi = 0; //!< inclusive
+
+    int size() const { return hi - lo + 1; }
+};
+
+/** A point in the design space: one value per domain. */
+using DesignPoint = std::vector<int>;
+
+/** Fitness callback; larger is better. */
+using EvalFn = std::function<double(const DesignPoint &)>;
+
+/** Optional admissibility predicate over points. */
+using FilterFn = std::function<bool(const DesignPoint &)>;
+
+/** One evaluated point. */
+struct Evaluated
+{
+    DesignPoint point;
+    double fitness = 0.0;
+};
+
+/** Common driver interface. */
+class SearchDriver
+{
+  public:
+    virtual ~SearchDriver() = default;
+
+    /** Driver name for reports. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Explore @p space, evaluating candidates with @p eval.
+     * @return the best point found.
+     */
+    virtual Evaluated search(const std::vector<ParamDomain> &space,
+                             const EvalFn &eval) = 0;
+
+    /** Every point evaluated during the last search, in order. */
+    const std::vector<Evaluated> &history() const { return hist; }
+
+    /** Fitness values of the history (for min/mean/max reports). */
+    std::vector<double> fitnessValues() const;
+
+  protected:
+    Evaluated &record(DesignPoint p, double fitness);
+
+    std::vector<Evaluated> hist;
+};
+
+/**
+ * Exhaustive enumeration of the whole space, optionally restricted
+ * by an admissibility filter (e.g. "the sequence must use all three
+ * candidate instructions", which yields the paper's 540 points for
+ * sequences of 6 over 3 instructions).
+ */
+class ExhaustiveSearch : public SearchDriver
+{
+  public:
+    explicit ExhaustiveSearch(FilterFn filter = nullptr,
+                              size_t max_points = 2'000'000);
+
+    std::string name() const override { return "exhaustive"; }
+    Evaluated search(const std::vector<ParamDomain> &space,
+                     const EvalFn &eval) override;
+
+  private:
+    FilterFn filter;
+    size_t maxPoints;
+};
+
+/** Genetic-algorithm knobs. */
+struct GaOptions
+{
+    int population = 24;
+    int generations = 20;
+    double mutationRate = 0.15;
+    double crossoverRate = 0.9;
+    int tournament = 3;
+    int elites = 2;
+    uint64_t seed = 0xd5e5eedull;
+};
+
+/** Steady generational GA with tournament selection and elitism. */
+class GeneticSearch : public SearchDriver
+{
+  public:
+    explicit GeneticSearch(GaOptions opts = GaOptions());
+
+    std::string name() const override { return "genetic"; }
+    Evaluated search(const std::vector<ParamDomain> &space,
+                     const EvalFn &eval) override;
+
+  private:
+    GaOptions opts;
+};
+
+/**
+ * Uniform random sampling of the design space — the baseline any
+ * smarter driver must beat; also useful for quick space surveys.
+ */
+class RandomSearch : public SearchDriver
+{
+  public:
+    explicit RandomSearch(size_t budget,
+                          uint64_t seed = 0x4a4d5eedull);
+
+    std::string name() const override { return "random"; }
+    Evaluated search(const std::vector<ParamDomain> &space,
+                     const EvalFn &eval) override;
+
+  private:
+    size_t budget;
+    uint64_t seed;
+};
+
+/**
+ * User-guided search: the driver repeatedly asks a user callback for
+ * the next candidate (given the history so far), enabling policies
+ * that query micro-architecture information to steer the walk — the
+ * synergy the paper highlights for the integrated design.
+ */
+class UserGuidedSearch : public SearchDriver
+{
+  public:
+    /** Returns false to stop; otherwise writes the next point. */
+    using ProposeFn = std::function<bool(
+        const std::vector<Evaluated> &, DesignPoint &)>;
+
+    explicit UserGuidedSearch(ProposeFn propose,
+                              size_t max_points = 100'000);
+
+    std::string name() const override { return "user-guided"; }
+    Evaluated search(const std::vector<ParamDomain> &space,
+                     const EvalFn &eval) override;
+
+  private:
+    ProposeFn propose;
+    size_t maxPoints;
+};
+
+} // namespace mprobe
+
+#endif // MICROPROBE_DSE_HH

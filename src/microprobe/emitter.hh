@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Code emitter: renders a generated Program as a self-contained C
+ * file with inline assembly, the artifact format the paper's script
+ * saves ("./example-1.c"). The emitted file is documentation of the
+ * micro-benchmark; the simulator executes the Program directly.
+ */
+
+#ifndef MICROPROBE_EMITTER_HH
+#define MICROPROBE_EMITTER_HH
+
+#include <string>
+
+#include "sim/program.hh"
+
+namespace mprobe
+{
+
+/** Render @p prog as a C file with an inline-assembly endless loop. */
+std::string emitC(const Program &prog);
+
+/** Render only the assembly body (one line per instruction). */
+std::string emitAsm(const Program &prog);
+
+/** Write emitC() output to @p path; fatal() when unwritable. */
+void saveC(const Program &prog, const std::string &path);
+
+} // namespace mprobe
+
+#endif // MICROPROBE_EMITTER_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Transformation-pass interface of the micro-benchmark synthesizer.
+ *
+ * The synthesizer works "in a compiler-like fashion" (paper Section
+ * 2.2): the user composes an ordered sequence of passes, each
+ * transforming the program's internal representation. New passes can
+ * be added and sorted at will; the repository in passes.hh covers the
+ * minimum set previous work identified (skeleton, instruction
+ * distribution, memory behaviour, branch behaviour, ILP) plus
+ * initialization passes.
+ */
+
+#ifndef MICROPROBE_PASS_HH
+#define MICROPROBE_PASS_HH
+
+#include <string>
+
+#include "sim/program.hh"
+#include "util/rng.hh"
+
+namespace mprobe
+{
+
+class Architecture;
+
+/** One transformation over the program representation. */
+class Pass
+{
+  public:
+    virtual ~Pass() = default;
+
+    /** Human-readable pass name for logs and synthesizer traces. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Transform @p prog in place. @p arch provides the ISA and
+     * micro-architecture queries; @p rng is the synthesizer's seeded
+     * generator so pass randomness is reproducible.
+     */
+    virtual void apply(Program &prog, const Architecture &arch,
+                       Rng &rng) const = 0;
+};
+
+} // namespace mprobe
+
+#endif // MICROPROBE_PASS_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Synthesizer implementation.
+ */
+
+#include "microprobe/synthesizer.hh"
+
+#include "util/logging.hh"
+
+namespace mprobe
+{
+
+Synthesizer::Synthesizer(const Architecture &arch, uint64_t seed)
+    : archPtr(&arch), rng(seed)
+{
+}
+
+void
+Synthesizer::add(std::unique_ptr<Pass> pass)
+{
+    if (!pass)
+        panic("Synthesizer::add: null pass");
+    passes.push_back(std::move(pass));
+}
+
+std::vector<std::string>
+Synthesizer::passNames() const
+{
+    std::vector<std::string> out;
+    for (const auto &p : passes)
+        out.push_back(p->name());
+    return out;
+}
+
+Program
+Synthesizer::synthesize(const std::string &name)
+{
+    if (passes.empty())
+        fatal("Synthesizer: no passes configured");
+    Program prog;
+    prog.name = name.empty() ? cat("ubench-", ++counter) : name;
+    for (const auto &p : passes) {
+        debugTrace(cat("pass: ", p->name()));
+        p->apply(prog, *archPtr, rng);
+    }
+    if (!prog.isa || prog.body.empty())
+        fatal(cat("synthesis of '", prog.name,
+                  "' produced no code; a skeleton pass must run "
+                  "first"));
+    return prog;
+}
+
+} // namespace mprobe

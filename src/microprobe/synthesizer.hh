@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The micro-benchmark synthesizer (paper Section 2.2).
+ *
+ * Drives code generation by applying a user-ordered sequence of
+ * passes over the internal representation, mirroring the Figure-2
+ * script:
+ *
+ *     Architecture arch = Architecture::get("POWER7");
+ *     Synthesizer synth(arch);
+ *     synth.add(std::make_unique<SkeletonPass>(4096));
+ *     synth.add(std::make_unique<InstructionMixPass>(loads_vsu));
+ *     ...
+ *     Program ubench = synth.synthesize();
+ */
+
+#ifndef MICROPROBE_SYNTHESIZER_HH
+#define MICROPROBE_SYNTHESIZER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "microprobe/arch.hh"
+#include "microprobe/pass.hh"
+
+namespace mprobe
+{
+
+/** Applies an ordered pass pipeline to produce micro-benchmarks. */
+class Synthesizer
+{
+  public:
+    /**
+     * @param arch target architecture (kept by reference; must
+     *             outlive the synthesizer)
+     * @param seed reproducible randomness for all passes
+     */
+    explicit Synthesizer(const Architecture &arch,
+                         uint64_t seed = 0x51c0b35eedull);
+
+    /** Append a pass to the pipeline (applied in insertion order). */
+    void add(std::unique_ptr<Pass> pass);
+
+    /** Convenience: emplace a pass of type P. */
+    template <typename P, typename... Args>
+    void
+    addPass(Args &&...args)
+    {
+        add(std::make_unique<P>(std::forward<Args>(args)...));
+    }
+
+    /** Number of passes in the pipeline. */
+    size_t passCount() const { return passes.size(); }
+
+    /** Pass names in application order (for tracing). */
+    std::vector<std::string> passNames() const;
+
+    /**
+     * Apply the pipeline and return the generated micro-benchmark.
+     * Each call draws fresh randomness, so repeated calls generate
+     * *different* benchmarks under the same policy (Figure 2 lines
+     * 31-33).
+     */
+    Program synthesize(const std::string &name = "");
+
+  private:
+    const Architecture *archPtr;
+    std::vector<std::unique_ptr<Pass>> passes;
+    Rng rng;
+    int counter = 0;
+};
+
+} // namespace mprobe
+
+#endif // MICROPROBE_SYNTHESIZER_HH

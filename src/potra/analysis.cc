@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Trace analysis implementation.
+ */
+
+#include "potra/analysis.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace mprobe
+{
+
+double
+DetectedPhase::durationMs(const PowerTrace &t) const
+{
+    return (static_cast<double>(lastSample - firstSample) + 1.0) *
+           t.sampleMs;
+}
+
+std::vector<double>
+smoothPower(const PowerTrace &trace, size_t w)
+{
+    if (w == 0)
+        fatal("smoothPower: zero window");
+    std::vector<double> out;
+    out.reserve(trace.samples.size());
+    double acc = 0.0;
+    std::vector<double> win;
+    for (size_t i = 0; i < trace.samples.size(); ++i) {
+        win.push_back(trace.samples[i].watts);
+        acc += trace.samples[i].watts;
+        if (win.size() > w) {
+            acc -= win.front();
+            win.erase(win.begin());
+        }
+        out.push_back(acc / static_cast<double>(win.size()));
+    }
+    return out;
+}
+
+std::vector<DetectedPhase>
+segmentPhases(const PowerTrace &trace, double threshold_frac,
+              size_t min_samples, size_t smooth_window)
+{
+    std::vector<DetectedPhase> out;
+    const auto &ss = trace.samples;
+    if (ss.empty())
+        return out;
+    std::vector<double> sm = smoothPower(trace, smooth_window);
+
+    size_t start = 0;
+    double mean = sm[0];
+    size_t departed = 0;
+    auto close_phase = [&](size_t end) {
+        DetectedPhase ph;
+        ph.firstSample = start;
+        ph.lastSample = end;
+        double pw = 0.0, ipc = 0.0;
+        std::vector<double> rates;
+        for (size_t i = start; i <= end; ++i) {
+            pw += ss[i].watts;
+            ipc += ss[i].ipc;
+            if (rates.empty())
+                rates.assign(ss[i].rates.size(), 0.0);
+            for (size_t r = 0; r < ss[i].rates.size(); ++r)
+                rates[r] += ss[i].rates[r];
+        }
+        double n = static_cast<double>(end - start + 1);
+        ph.meanWatts = pw / n;
+        ph.meanIpc = ipc / n;
+        for (auto &r : rates)
+            r /= n;
+        ph.meanRates = std::move(rates);
+        out.push_back(std::move(ph));
+    };
+
+    for (size_t i = 1; i < ss.size(); ++i) {
+        double dev = std::abs(sm[i] - mean) /
+                     std::max(std::abs(mean), 1e-9);
+        if (dev > threshold_frac) {
+            ++departed;
+            if (departed >= min_samples) {
+                // The departure began min_samples ago.
+                size_t boundary = i - departed + 1;
+                if (boundary > start) {
+                    close_phase(boundary - 1);
+                    start = boundary;
+                }
+                mean = sm[i];
+                departed = 0;
+            }
+        } else {
+            departed = 0;
+            // Track the running mean of the current phase.
+            double n = static_cast<double>(i - start + 1);
+            mean += (sm[i] - mean) / n;
+        }
+    }
+    close_phase(ss.size() - 1);
+    return out;
+}
+
+std::string
+sparkline(const std::vector<double> &series, size_t buckets)
+{
+    if (series.empty() || buckets == 0)
+        return "";
+    static const char *const levels[] = {" ", ".", ":", "-", "=",
+                                         "+", "*", "#"};
+    double lo = *std::min_element(series.begin(), series.end());
+    double hi = *std::max_element(series.begin(), series.end());
+    double span = std::max(hi - lo, 1e-12);
+
+    buckets = std::min(buckets, series.size());
+    std::string out;
+    for (size_t b = 0; b < buckets; ++b) {
+        size_t from = b * series.size() / buckets;
+        size_t to = (b + 1) * series.size() / buckets;
+        double acc = 0.0;
+        for (size_t i = from; i < to; ++i)
+            acc += series[i];
+        double v = acc / static_cast<double>(to - from);
+        int idx = static_cast<int>((v - lo) / span * 7.999);
+        out += levels[std::clamp(idx, 0, 7)];
+    }
+    return out;
+}
+
+} // namespace mprobe

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Trace analysis: smoothing, phase segmentation and text plotting
+ * (the analysis/plotting half of the POTRA role).
+ */
+
+#ifndef POTRA_ANALYSIS_HH
+#define POTRA_ANALYSIS_HH
+
+#include <string>
+#include <vector>
+
+#include "potra/trace.hh"
+
+namespace mprobe
+{
+
+/** Moving average of the power series with window @p w samples. */
+std::vector<double> smoothPower(const PowerTrace &trace, size_t w);
+
+/** One detected phase of a trace. */
+struct DetectedPhase
+{
+    size_t firstSample = 0;
+    size_t lastSample = 0; //!< inclusive
+    double meanWatts = 0.0;
+    double meanIpc = 0.0;
+    /** Mean activity rates over the phase. */
+    std::vector<double> meanRates;
+
+    double durationMs(const PowerTrace &t) const;
+};
+
+/**
+ * Segment a trace into phases by detecting sustained shifts of the
+ * smoothed power series: a new phase starts when the smoothed power
+ * departs from the running phase mean by more than
+ * @p threshold_frac for at least @p min_samples samples.
+ */
+std::vector<DetectedPhase>
+segmentPhases(const PowerTrace &trace, double threshold_frac = 0.05,
+              size_t min_samples = 4, size_t smooth_window = 3);
+
+/**
+ * Render the power series as a row of text sparkline blocks
+ * (one character per bucket), for terminal inspection.
+ */
+std::string sparkline(const std::vector<double> &series,
+                      size_t buckets = 64);
+
+} // namespace mprobe
+
+#endif // POTRA_ANALYSIS_HH

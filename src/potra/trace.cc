@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Trace collection implementation.
+ */
+
+#include "potra/trace.hh"
+
+#include <cmath>
+
+#include "power/sample.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace mprobe
+{
+
+double
+PhasedWorkload::totalMs() const
+{
+    double t = 0.0;
+    for (const auto &p : phases)
+        t += p.milliseconds;
+    return t;
+}
+
+PowerTrace
+tracePhased(const Machine &machine, const PhasedWorkload &workload,
+            const ChipConfig &cfg, double sample_ms, uint64_t salt)
+{
+    if (workload.phases.empty())
+        fatal(cat("tracePhased: workload '", workload.name,
+                  "' has no phases"));
+    if (sample_ms <= 0.0)
+        fatal("tracePhased: non-positive sampling period");
+
+    PowerTrace trace;
+    trace.workload = workload.name;
+    trace.config = cfg;
+    trace.sampleMs = sample_ms;
+
+    Rng rng(0x707124ull ^ salt);
+    double clock = 0.0;
+    for (const auto &phase : workload.phases) {
+        if (!phase.program)
+            fatal("tracePhased: phase without a program");
+        // Steady-state measurement of the phase (one deployment).
+        RunResult r = machine.run(*phase.program, cfg, salt);
+        Sample s = makeSample(phase.program->name, r);
+
+        long count = std::lround(phase.milliseconds / sample_ms);
+        for (long i = 0; i < count; ++i) {
+            TraceSample ts;
+            ts.timeMs = clock;
+            clock += sample_ms;
+            // Per-sample sensor noise + mW quantization on top of
+            // the phase's true power.
+            double noisy =
+                r.sensorWatts *
+                (1.0 + machine.groundTruth().sensorNoiseFrac *
+                           rng.gaussian());
+            ts.watts = std::round(noisy * 1000.0) / 1000.0;
+            ts.ipc = r.coreIpc;
+            ts.rates = s.rates;
+            trace.samples.push_back(std::move(ts));
+        }
+    }
+    return trace;
+}
+
+} // namespace mprobe

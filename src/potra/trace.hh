@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Power/performance trace collection (the POTRA role).
+ *
+ * The paper's measurement stack samples the TPMD power sensors at
+ * 1 ms granularity and gathers PMC traces alongside; the POTRA
+ * framework then analyses and plots them (Section 3). This module
+ * reproduces that role over the simulated machine: a *phased
+ * workload* (a sequence of micro-benchmarks with durations, standing
+ * in for an application's phases) is traced into a time series of
+ * power and counter-rate samples, which the analysis half
+ * (potra/analysis.hh) segments back into phases — enabling the
+ * abstract's "application-specific (and if needed, phase-specific)
+ * power projection".
+ */
+
+#ifndef POTRA_TRACE_HH
+#define POTRA_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/machine.hh"
+
+namespace mprobe
+{
+
+/** One phase of an application: a kernel and how long it runs. */
+struct WorkloadPhase
+{
+    const Program *program = nullptr;
+    double milliseconds = 0.0;
+};
+
+/** An application modeled as a sequence of phases. */
+struct PhasedWorkload
+{
+    std::string name;
+    std::vector<WorkloadPhase> phases;
+
+    double totalMs() const;
+};
+
+/** One trace sample (1 ms granularity by default). */
+struct TraceSample
+{
+    double timeMs = 0.0;
+    double watts = 0.0;     //!< sensor reading
+    double ipc = 0.0;       //!< per-core IPC over the sample
+    /** Chip-wide activity rates (Gev/s), ordered as
+     * dynamicFeatureNames(). */
+    std::vector<double> rates;
+};
+
+/** A collected power/PMC trace. */
+struct PowerTrace
+{
+    std::string workload;
+    ChipConfig config;
+    double sampleMs = 1.0;
+    std::vector<TraceSample> samples;
+};
+
+/**
+ * Trace @p workload on @p cfg: each phase runs at its steady state
+ * (measured once) and is sampled every @p sample_ms with fresh
+ * sensor noise per sample, as the real 1 ms TPMD sampling would
+ * observe.
+ */
+PowerTrace tracePhased(const Machine &machine,
+                       const PhasedWorkload &workload,
+                       const ChipConfig &cfg,
+                       double sample_ms = 1.0,
+                       uint64_t salt = 0);
+
+} // namespace mprobe
+
+#endif // POTRA_TRACE_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Area-heuristic model implementation.
+ */
+
+#include "power/area_model.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace mprobe
+{
+
+AreaHeuristicModel
+AreaHeuristicModel::calibrate(const UarchDef &uarch,
+                              const Sample &hot, double idle_watts)
+{
+    if (hot.rates.size() != dynamicFeatureNames().size())
+        fatal("AreaHeuristicModel: bad calibration sample");
+
+    AreaHeuristicModel m;
+    m.base = idle_watts;
+
+    // Heuristic shares: units by floorplan area, cache levels by a
+    // sub-linear function of capacity (bigger arrays burn more per
+    // access, but not proportionally), memory accesses by the
+    // off-chip interface share.
+    double a_fxu = uarch.unit("FXU").areaMm2;
+    double a_vsu = uarch.unit("VSU").areaMm2;
+    double a_lsu = uarch.unit("LSU").areaMm2;
+    auto cache_share = [&](const char *name) {
+        return std::sqrt(static_cast<double>(
+                   uarch.cache(name).geom.sizeBytes) /
+               (32.0 * 1024.0));
+    };
+    std::vector<double> share = {
+        a_fxu, a_vsu, a_lsu,
+        cache_share("L1"), cache_share("L2"), cache_share("L3"),
+        3.0 * cache_share("L3"), // off-chip accesses
+    };
+
+    // The calibration run's dynamic power is apportioned over the
+    // shares weighted by its own activity; weight_i then converts
+    // the feature rate to watts.
+    double dyn = std::max(hot.powerWatts - idle_watts, 1e-6);
+    double denom = 0.0;
+    for (size_t i = 0; i < share.size(); ++i)
+        denom += share[i] * hot.rates[i];
+    if (denom <= 0.0)
+        fatal("AreaHeuristicModel: calibration sample shows no "
+              "activity");
+    m.w.resize(share.size());
+    for (size_t i = 0; i < share.size(); ++i)
+        m.w[i] = dyn * share[i] / denom;
+    return m;
+}
+
+double
+AreaHeuristicModel::predict(const Sample &s) const
+{
+    if (s.rates.size() != w.size())
+        panic("AreaHeuristicModel: predictor arity mismatch");
+    double p = base;
+    for (size_t i = 0; i < w.size(); ++i)
+        p += w[i] * s.rates[i];
+    return p;
+}
+
+} // namespace mprobe

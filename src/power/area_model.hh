@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Area-heuristic bottom-up power model (Isci & Martonosi,
+ * MICRO'03 — the paper's reference [27]).
+ *
+ * The earliest bottom-up counter models apportioned the measured
+ * power over micro-architecture components using *floorplan areas*
+ * as the heuristic weights: a component's maximum power is assumed
+ * proportional to its area, and its runtime contribution scales with
+ * its access rate. The micro-architecture definition's layout
+ * information (UnitInfo::areaMm2) supplies the areas.
+ *
+ * Included as a comparison point: it needs almost no training (one
+ * high-activity calibration run plus idle), but its accuracy is far
+ * below the regression-based bottom-up model — quantifying what the
+ * micro-benchmark-trained methodology buys.
+ */
+
+#ifndef POWER_AREA_MODEL_HH
+#define POWER_AREA_MODEL_HH
+
+#include "power/sample.hh"
+#include "uarch/uarch.hh"
+
+namespace mprobe
+{
+
+/** Area-apportioned counter model. */
+class AreaHeuristicModel
+{
+  public:
+    /**
+     * Calibrate: distribute the dynamic power of the calibration
+     * sample (typically the hottest micro-benchmark available) over
+     * the FXU/VSU/LSU units by area, and over the cache levels by
+     * capacity; the idle reading anchors the constant term.
+     */
+    static AreaHeuristicModel calibrate(const UarchDef &uarch,
+                                        const Sample &hot,
+                                        double idle_watts);
+
+    /** Predict total processor power. */
+    double predict(const Sample &s) const;
+
+    /** Per-rate weights (W per Gev/s), for inspection. */
+    const std::vector<double> &weights() const { return w; }
+
+  private:
+    std::vector<double> w; //!< per dynamic feature
+    double base = 0.0;
+};
+
+} // namespace mprobe
+
+#endif // POWER_AREA_MODEL_HH

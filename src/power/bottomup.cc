@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Bottom-up model training (the Figure-4 methodology).
+ */
+
+#include "power/bottomup.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/regression.hh"
+
+namespace mprobe
+{
+
+namespace
+{
+
+/** Rates below this (Gev/s) count as "component not exercised". */
+constexpr double kQuietRate = 1e-3;
+
+/** Indices into Sample::rates. */
+enum RateIx
+{
+    kFxu = 0,
+    kVsu = 1,
+    kLsu = 2,
+    kL1 = 3,
+    kL2 = 4,
+    kL3 = 5,
+    kMem = 6,
+    kNumRates = 7
+};
+
+} // namespace
+
+double
+BottomUpModel::dynamicPower(const Sample &s) const
+{
+    if (s.rates.size() != w.size())
+        panic(cat("BottomUpModel: sample with ", s.rates.size(),
+                  " rates, model has ", w.size()));
+    double p = 0.0;
+    for (size_t i = 0; i < w.size(); ++i)
+        p += w[i] * s.rates[i];
+    return p;
+}
+
+BottomUpModel
+BottomUpModel::train(const BottomUpTrainingSet &data)
+{
+    if (data.microSmt1.empty() || data.microSmtOn.empty() ||
+        data.randomAllConfigs.empty())
+        fatal("BottomUpModel: incomplete training set");
+
+    BottomUpModel m;
+    m.w.assign(kNumRates, 0.0);
+
+    // ---- Step 1a: core-component weights from the compute-bound
+    // micro-benchmarks (a sequence of regressions: units first,
+    // memory hierarchy second, following Bertran et al.).
+    std::vector<std::vector<double>> xa;
+    std::vector<double> ya;
+    for (const auto &s : data.microSmt1) {
+        if (s.rates[kL2] > kQuietRate || s.rates[kL3] > kQuietRate ||
+            s.rates[kMem] > kQuietRate)
+            continue;
+        xa.push_back({s.rates[kFxu], s.rates[kVsu], s.rates[kLsu],
+                      s.rates[kL1]});
+        ya.push_back(s.powerWatts);
+    }
+    if (xa.size() < 8)
+        fatal("BottomUpModel: too few compute-bound SMT-1 samples");
+    RegressionOptions nn;
+    nn.nonNegative = true;
+    RegressionResult unit_fit = fitLeastSquares(xa, ya, nn);
+    m.w[kFxu] = unit_fit.coeffs[0];
+    m.w[kVsu] = unit_fit.coeffs[1];
+    m.w[kLsu] = unit_fit.coeffs[2];
+    m.w[kL1] = unit_fit.coeffs[3];
+
+    // ---- Step 1b: memory-hierarchy weights from the residual power
+    // of the memory-exercising micro-benchmarks.
+    std::vector<std::vector<double>> xb;
+    std::vector<double> yb;
+    for (const auto &s : data.microSmt1) {
+        if (s.rates[kL2] <= kQuietRate &&
+            s.rates[kL3] <= kQuietRate && s.rates[kMem] <= kQuietRate)
+            continue;
+        double known = m.w[kFxu] * s.rates[kFxu] +
+                       m.w[kVsu] * s.rates[kVsu] +
+                       m.w[kLsu] * s.rates[kLsu] +
+                       m.w[kL1] * s.rates[kL1] + unit_fit.intercept;
+        xb.push_back({s.rates[kL2], s.rates[kL3], s.rates[kMem]});
+        yb.push_back(s.powerWatts - known);
+    }
+    if (xb.size() >= 6) {
+        RegressionOptions nnni = nn;
+        nnni.fitIntercept = false;
+        RegressionResult mem_fit = fitLeastSquares(xb, yb, nnni);
+        m.w[kL2] = mem_fit.coeffs[0];
+        m.w[kL3] = mem_fit.coeffs[1];
+        m.w[kMem] = mem_fit.coeffs[2];
+    } else {
+        warn("BottomUpModel: no memory-exercising samples; "
+             "hierarchy weights default to zero");
+    }
+
+    // ---- Step 1c: intercept calibration on the random
+    // micro-benchmarks ("to avoid under-estimating the power when
+    // only particular units are stressed").
+    double intercept_smt1 = unit_fit.intercept;
+    if (!data.randomSmt1.empty()) {
+        double acc = 0.0;
+        for (const auto &s : data.randomSmt1)
+            acc += s.powerWatts - m.dynamicPower(s);
+        intercept_smt1 = acc /
+                         static_cast<double>(data.randomSmt1.size());
+    }
+
+    // ---- Step 2: SMT effect = intercept(SMT-2/4) - intercept(SMT-1).
+    double acc_on = 0.0;
+    for (const auto &s : data.microSmtOn)
+        acc_on += s.powerWatts - m.dynamicPower(s);
+    double intercept_smton =
+        acc_on / static_cast<double>(data.microSmtOn.size());
+    m.smtEff = intercept_smton - intercept_smt1;
+
+    // ---- Step 3: CMP effect and uncore power from residuals of the
+    // random micro-benchmarks across every configuration.
+    std::vector<std::vector<double>> xc;
+    std::vector<double> yc;
+    for (const auto &s : data.randomAllConfigs) {
+        double pred = m.dynamicPower(s) +
+                      m.smtEff * s.smtVar() * s.coresVar();
+        xc.push_back({s.coresVar()});
+        yc.push_back(s.powerWatts - pred);
+    }
+    RegressionResult cmp_fit = fitLeastSquares(xc, yc);
+    m.cmpEff = cmp_fit.coeffs[0];
+    double b = cmp_fit.intercept;
+
+    // Reported split of the constant term: the measured idle power
+    // is the workload-independent component; the remainder is
+    // uncore.
+    m.wiW = data.idleWatts;
+    m.uncoreW = b - data.idleWatts;
+    return m;
+}
+
+double
+BottomUpModel::predict(const Sample &s) const
+{
+    return breakdown(s).total();
+}
+
+PowerBreakdown
+BottomUpModel::breakdown(const Sample &s) const
+{
+    PowerBreakdown pb;
+    pb.dynamic = dynamicPower(s);
+    pb.smtEffect = smtEff * s.smtVar() * s.coresVar();
+    pb.cmpEffect = cmpEff * s.coresVar();
+    pb.uncore = uncoreW;
+    pb.workloadIndependent = wiW;
+    return pb;
+}
+
+} // namespace mprobe

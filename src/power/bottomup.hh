@@ -1,0 +1,103 @@
+/**
+ * @file
+ * SMT/CMP-aware bottom-up counter-based power model (paper
+ * Section 4.1).
+ *
+ * The four-step methodology of Figure 4:
+ *
+ *  1. model a single hardware context: non-negative per-component
+ *     regression of power against the seven activity rates on
+ *     single-core SMT-1 training data, intercept calibrated on the
+ *     random micro-benchmarks;
+ *  2. model the SMT effect as the intercept difference between the
+ *     SMT-enabled and SMT-disabled fits;
+ *  3. apply the dynamic + SMT models to the random micro-benchmarks
+ *     in every configuration and regress the residuals against the
+ *     number of cores: slope = CMP effect, intercept = uncore power;
+ *  4. combine:  P = sum_k Pdyn_k + SMT_eff*#smt_cores
+ *                 + CMP_eff*#cores + P_uncore.
+ *
+ * The model's decomposability yields per-component breakdowns
+ * (Figures 5a and 8).
+ */
+
+#ifndef POWER_BOTTOMUP_HH
+#define POWER_BOTTOMUP_HH
+
+#include <vector>
+
+#include "power/sample.hh"
+
+namespace mprobe
+{
+
+/** Training input of the bottom-up methodology. */
+struct BottomUpTrainingSet
+{
+    /** Micro-architecture-aware samples at 1 core, SMT-1. */
+    std::vector<Sample> microSmt1;
+    /** Micro-architecture-aware samples at 1 core, SMT-2/4. */
+    std::vector<Sample> microSmtOn;
+    /** Random micro-benchmarks at 1 core, SMT-1 (intercept
+     * calibration). */
+    std::vector<Sample> randomSmt1;
+    /** Random micro-benchmarks across all configurations
+     * (CMP-effect / uncore regression). */
+    std::vector<Sample> randomAllConfigs;
+    /** Measured idle power (workload-independent component used
+     * only for reporting breakdowns, as the paper plots it). */
+    double idleWatts = 0.0;
+};
+
+/** Per-component power breakdown of one prediction (Figure 5a). */
+struct PowerBreakdown
+{
+    double dynamic = 0.0;
+    double smtEffect = 0.0;
+    double cmpEffect = 0.0;
+    double uncore = 0.0;
+    double workloadIndependent = 0.0;
+
+    double
+    total() const
+    {
+        return dynamic + smtEffect + cmpEffect + uncore +
+               workloadIndependent;
+    }
+};
+
+/** The trained bottom-up model. */
+class BottomUpModel
+{
+  public:
+    /** Fit the four-step methodology on @p data. */
+    static BottomUpModel train(const BottomUpTrainingSet &data);
+
+    /** Predict total processor power for a sample. */
+    double predict(const Sample &s) const;
+
+    /** Predict with the per-component decomposition. */
+    PowerBreakdown breakdown(const Sample &s) const;
+
+    /** @name Fitted parameters (inspection / reporting) */
+    /**@{*/
+    const std::vector<double> &weights() const { return w; }
+    double smtEffect() const { return smtEff; }
+    double cmpEffect() const { return cmpEff; }
+    double uncore() const { return uncoreW; }
+    double workloadIndependent() const { return wiW; }
+    /**@}*/
+
+  private:
+    std::vector<double> w;  //!< per-rate dynamic weights (W per Gev/s)
+    double smtEff = 0.0;    //!< watts per SMT-enabled core
+    double cmpEff = 0.0;    //!< watts per enabled core
+    double uncoreW = 0.0;   //!< constant uncore power
+    double wiW = 0.0;       //!< reported workload-independent power
+
+    double dynamicPower(const Sample &s) const;
+};
+
+} // namespace mprobe
+
+#endif // POWER_BOTTOMUP_HH

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Sample construction.
+ */
+
+#include "power/sample.hh"
+
+namespace mprobe
+{
+
+Sample
+makeSample(const std::string &workload, const RunResult &r)
+{
+    Sample s;
+    s.workload = workload;
+    s.config = r.config;
+    constexpr double kGiga = 1e-9;
+    s.rates = {
+        r.rate(r.chip.fxuOps) * kGiga,
+        r.rate(r.chip.vsuOps) * kGiga,
+        r.rate(r.chip.lsuOps) * kGiga,
+        r.rate(r.chip.l1Hits) * kGiga,
+        r.rate(r.chip.l2Hits) * kGiga,
+        r.rate(r.chip.l3Hits) * kGiga,
+        r.rate(r.chip.memAcc) * kGiga,
+    };
+    s.powerWatts = r.sensorWatts;
+    return s;
+}
+
+} // namespace mprobe

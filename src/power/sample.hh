@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Model training/validation samples.
+ *
+ * A Sample is exactly what the measurement stack yields for one
+ * (workload, configuration) run: the activity rates of the seven
+ * power components of the paper's dynamic model (FXU, VSU, LSU, L1,
+ * L2, L3, MEM), the configuration variables (#cores, SMT enabled)
+ * and the measured processor power. The power models see nothing
+ * else.
+ */
+
+#ifndef POWER_SAMPLE_HH
+#define POWER_SAMPLE_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/machine.hh"
+
+namespace mprobe
+{
+
+/** Feature names of the dynamic power components, in order. */
+inline const std::vector<std::string> &
+dynamicFeatureNames()
+{
+    static const std::vector<std::string> names = {
+        "FXU", "VSU", "LSU", "L1", "L2", "L3", "MEM",
+    };
+    return names;
+}
+
+/** One measured (workload, configuration) point. */
+struct Sample
+{
+    std::string workload;
+    ChipConfig config;
+    /**
+     * Chip-wide activity rates in giga-events per second, ordered
+     * as dynamicFeatureNames(): FXU, VSU, LSU, L1, L2, L3, MEM.
+     */
+    std::vector<double> rates;
+    /** Measured processor power (sensor), watts. */
+    double powerWatts = 0.0;
+
+    /** Number of cores as a model input. */
+    double coresVar() const { return config.cores; }
+    /** SMT-enabled indicator as a model input. */
+    double smtVar() const { return config.smt > 1 ? 1.0 : 0.0; }
+};
+
+/** Build a sample from a measurement. */
+Sample makeSample(const std::string &workload, const RunResult &r);
+
+} // namespace mprobe
+
+#endif // POWER_SAMPLE_HH

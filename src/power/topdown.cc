@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Top-down model training with forward stepwise selection.
+ */
+
+#include "power/topdown.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/regression.hh"
+
+namespace mprobe
+{
+
+std::vector<double>
+TopDownModel::predictors(const Sample &s, const TopDownOptions &o)
+{
+    std::vector<double> x = s.rates;
+    if (o.useCores)
+        x.push_back(s.coresVar());
+    if (o.useSmt)
+        x.push_back(s.smtVar());
+    return x;
+}
+
+std::vector<std::string>
+TopDownModel::predictorNames(const TopDownOptions &o)
+{
+    std::vector<std::string> names = dynamicFeatureNames();
+    if (o.useCores)
+        names.push_back("#cores");
+    if (o.useSmt)
+        names.push_back("SMT");
+    return names;
+}
+
+namespace
+{
+
+double
+adjustedR2(double r2, size_t n, size_t p)
+{
+    if (n <= p + 1)
+        return -1e300;
+    return 1.0 - (1.0 - r2) * static_cast<double>(n - 1) /
+                     static_cast<double>(n - p - 1);
+}
+
+} // namespace
+
+TopDownModel
+TopDownModel::train(const std::vector<Sample> &samples,
+                    const std::string &name,
+                    const TopDownOptions &opts)
+{
+    if (samples.size() < 10)
+        fatal(cat("TopDownModel '", name,
+                  "': too few training samples (",
+                  samples.size(), ")"));
+
+    TopDownModel m;
+    m.modelName = name;
+    m.opts = opts;
+
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    x.reserve(samples.size());
+    for (const auto &s : samples) {
+        x.push_back(predictors(s, opts));
+        y.push_back(s.powerWatts);
+    }
+    const size_t p_all = x[0].size();
+    const auto names = predictorNames(opts);
+
+    // Forward stepwise selection by adjusted R^2.
+    std::vector<size_t> chosen;
+    std::vector<bool> in(p_all, false);
+    double best_adj = -1e300;
+    if (opts.stepwiseMinGain >= 0.0) {
+        for (;;) {
+            size_t best_j = p_all;
+            double best_gain_adj = best_adj;
+            for (size_t j = 0; j < p_all; ++j) {
+                if (in[j])
+                    continue;
+                std::vector<std::vector<double>> xs;
+                xs.reserve(x.size());
+                for (const auto &row : x) {
+                    std::vector<double> r;
+                    for (size_t c : chosen)
+                        r.push_back(row[c]);
+                    r.push_back(row[j]);
+                    xs.push_back(std::move(r));
+                }
+                RegressionResult fit = fitLeastSquares(xs, y);
+                double adj =
+                    adjustedR2(fit.r2, y.size(), chosen.size() + 1);
+                if (adj > best_gain_adj) {
+                    best_gain_adj = adj;
+                    best_j = j;
+                }
+            }
+            if (best_j == p_all ||
+                best_gain_adj - best_adj < opts.stepwiseMinGain)
+                break;
+            chosen.push_back(best_j);
+            in[best_j] = true;
+            best_adj = best_gain_adj;
+            if (chosen.size() == p_all)
+                break;
+        }
+    }
+    if (chosen.empty())
+        for (size_t j = 0; j < p_all; ++j)
+            chosen.push_back(j);
+
+    // Final single multiple-linear regression on the selection.
+    std::vector<std::vector<double>> xs;
+    xs.reserve(x.size());
+    for (const auto &row : x) {
+        std::vector<double> r;
+        for (size_t c : chosen)
+            r.push_back(row[c]);
+        xs.push_back(std::move(r));
+    }
+    RegressionResult fit = fitLeastSquares(xs, y);
+
+    m.coeffs.assign(p_all, 0.0);
+    for (size_t k = 0; k < chosen.size(); ++k) {
+        m.coeffs[chosen[k]] = fit.coeffs[k];
+        m.selectedNames.push_back(names[chosen[k]]);
+    }
+    m.intercept = fit.intercept;
+    return m;
+}
+
+double
+TopDownModel::predict(const Sample &s) const
+{
+    std::vector<double> x = predictors(s, opts);
+    if (x.size() != coeffs.size())
+        panic(cat("TopDownModel '", modelName,
+                  "': predictor arity mismatch"));
+    double p = intercept;
+    for (size_t i = 0; i < x.size(); ++i)
+        p += coeffs[i] * x[i];
+    return p;
+}
+
+} // namespace mprobe

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Top-down counter-based power models (paper Section 4.1.2).
+ *
+ * The comparison baseline: "TD modeling methodologies use parameter
+ * selection techniques to select the model inputs and then they
+ * apply a single multiple linear regression to model the entire
+ * processor." For fairness the inputs are the same as the bottom-up
+ * model's: the seven activity rates plus the number of cores enabled
+ * and the SMT mode. Three instances are trained, named after their
+ * training sets — TD_Micro, TD_Random and TD_SPEC (the latter is the
+ * optimistic model trained on the validation suite itself).
+ */
+
+#ifndef POWER_TOPDOWN_HH
+#define POWER_TOPDOWN_HH
+
+#include <string>
+#include <vector>
+
+#include "power/sample.hh"
+
+namespace mprobe
+{
+
+/** Options for top-down training. */
+struct TopDownOptions
+{
+    /** Use the #cores input variable. */
+    bool useCores = true;
+    /** Use the SMT-enabled input variable. */
+    bool useSmt = true;
+    /**
+     * Forward stepwise parameter selection: add predictors while
+     * the adjusted R^2 improves by at least this much. Set to a
+     * negative value to keep all predictors.
+     */
+    double stepwiseMinGain = 1e-4;
+};
+
+/** A single-regression whole-processor model. */
+class TopDownModel
+{
+  public:
+    /** Fit on @p samples (any mixture of configurations). */
+    static TopDownModel train(const std::vector<Sample> &samples,
+                              const std::string &name,
+                              const TopDownOptions &opts =
+                                  TopDownOptions());
+
+    /** Predict total processor power. */
+    double predict(const Sample &s) const;
+
+    /** Model name, e.g. "TD_Micro". */
+    const std::string &name() const { return modelName; }
+
+    /** Names of the predictors the stepwise selection kept. */
+    const std::vector<std::string> &selected() const
+    {
+        return selectedNames;
+    }
+
+  private:
+    std::string modelName;
+    TopDownOptions opts;
+    /** Coefficients over the full predictor vector (zeros for
+     * predictors the selection dropped). */
+    std::vector<double> coeffs;
+    double intercept = 0.0;
+
+    std::vector<std::string> selectedNames;
+
+    static std::vector<double> predictors(const Sample &s,
+                                          const TopDownOptions &o);
+    static std::vector<std::string>
+    predictorNames(const TopDownOptions &o);
+};
+
+} // namespace mprobe
+
+#endif // POWER_TOPDOWN_HH

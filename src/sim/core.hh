@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Cycle-level SMT core model.
+ *
+ * An in-order, multi-issue core: up to dispatchWidth instructions
+ * issue per cycle across the active hardware threads, constrained by
+ * register dependencies (scoreboard), functional-unit pipe
+ * availability (fractional issue intervals via a token scheme), and
+ * the cache hierarchy for memory operations. All SMT threads of the
+ * paper's deployments run the same micro-benchmark, one copy pinned
+ * per hardware thread, so the core executes nThreads copies of one
+ * Program against a shared cache hierarchy.
+ *
+ * Because every micro-benchmark is an endless loop, the core reaches
+ * a periodic steady state; the simulator warms up for a few
+ * iterations and then measures a window of whole iterations, which is
+ * what a 10-second wall-clock measurement of the real machine
+ * observes (Section 3).
+ */
+
+#ifndef SIM_CORE_HH
+#define SIM_CORE_HH
+
+#include "sim/cache.hh"
+#include "sim/counters.hh"
+#include "sim/exec_model.hh"
+#include "sim/program.hh"
+
+namespace mprobe
+{
+
+/** Steady-state result of running a program on one core. */
+struct CoreResult
+{
+    /** Counter deltas over the measurement window (all threads). */
+    RunCounters window;
+    /** Loop iterations measured per thread. */
+    int iterations = 0;
+    /** Hardware threads that ran. */
+    int threads = 0;
+};
+
+/** Tunable knobs of a core simulation. */
+struct CoreSimOptions
+{
+    /** Main-memory latency in cycles (contention-adjusted). */
+    int memLatency = ExecModel::memLatencyBase;
+    /** Cache geometries (L1, L2, L3); empty selects the default
+     * POWER7-like hierarchy. */
+    std::vector<CacheGeometry> cacheGeoms;
+    /** Warm-up loop iterations per thread before measuring. */
+    int warmupIters = 3;
+    /** Measured loop iterations per thread. */
+    int measureIters = 6;
+    /** Enable the next-line hardware prefetcher. */
+    bool prefetch = true;
+    /** Mispredict penalty in cycles for conditional branches. */
+    int mispredictPenalty = 12;
+    /** Per-cycle unit-overlap energy coefficient (nJ), hidden. */
+    double overlapNjPerCycle = 0.30;
+    /** Per-instruction unit-transition energy (nJ), hidden: the
+     * bypass network toggles when consecutive instructions of a
+     * thread execute on different units. Only *high-energy* pairs
+     * (both above transitionGateNj) pay it — wide operands through
+     * long cross-unit bypass wires — which is why instruction
+     * order matters most for stressmark-class code built from the
+     * hottest instructions (Section 6's 17% spread) while ordinary
+     * mixed workloads barely expose it. */
+    double transitionNjPerInstr = 0.85;
+    /** Both instructions of a transition must exceed this energy
+     * for the transition cost to apply (hidden). */
+    double transitionGateNj = 1.60;
+};
+
+/**
+ * Simulate @p threads copies of @p prog on one core.
+ *
+ * @param exec ground-truth timing/energy tables for prog's ISA
+ * @param prog the micro-benchmark loop
+ * @param threads SMT ways running copies (1, 2 or 4)
+ * @param opts simulation knobs
+ */
+CoreResult simulateCore(const ExecModel &exec, const Program &prog,
+                        int threads,
+                        const CoreSimOptions &opts = CoreSimOptions());
+
+/**
+ * Simulate a *heterogeneous* SMT deployment: one (possibly
+ * different) program per hardware thread — the multi-threaded
+ * stressmark exploration the paper leaves as future work (Section
+ * 6, after Ganesan et al.'s MAMPO). All programs must share one
+ * ISA; 1, 2 or 4 threads.
+ */
+CoreResult simulateCoreHetero(
+    const ExecModel &exec,
+    const std::vector<const Program *> &thread_progs,
+    const CoreSimOptions &opts = CoreSimOptions());
+
+} // namespace mprobe
+
+#endif // SIM_CORE_HH

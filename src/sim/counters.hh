@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Performance-counter record produced by the simulator.
+ *
+ * These are the PMCs a real measurement stack (the paper uses the
+ * Linux PCL API) would expose. The energy fields at the bottom are
+ * ground-truth bookkeeping visible only to the machine model, never
+ * to MicroProbe or the power models.
+ */
+
+#ifndef SIM_COUNTERS_HH
+#define SIM_COUNTERS_HH
+
+namespace mprobe
+{
+
+/** Event counts accumulated over a simulation window. */
+struct RunCounters
+{
+    double cycles = 0;  //!< PM_RUN_CYC
+    double instrs = 0;  //!< PM_RUN_INST_CMPL
+    double fxuOps = 0;  //!< PM_FXU_FIN
+    double lsuOps = 0;  //!< PM_LSU_FIN
+    double vsuOps = 0;  //!< PM_VSU_FIN
+    double bruOps = 0;  //!< PM_BRU_FIN
+    double cruOps = 0;  //!< PM_CRU_FIN
+    double loads = 0;   //!< PM_LD_CMPL
+    double stores = 0;  //!< PM_ST_CMPL
+    double l1Hits = 0;  //!< PM_DATA_FROM_L1
+    double l2Hits = 0;  //!< PM_DATA_FROM_L2
+    double l3Hits = 0;  //!< PM_DATA_FROM_L3
+    double memAcc = 0;  //!< PM_DATA_FROM_MEM
+
+    /** @name Ground-truth-only fields (hidden from estimators) */
+    /**@{*/
+    double energyNj = 0;     //!< dynamic energy, incl. order terms
+    double overlapNj = 0;    //!< unit-overlap share of energyNj
+    double transitionNj = 0; //!< unit-transition share of energyNj
+    /**@}*/
+
+    RunCounters &
+    operator+=(const RunCounters &o)
+    {
+        cycles += o.cycles;
+        instrs += o.instrs;
+        fxuOps += o.fxuOps;
+        lsuOps += o.lsuOps;
+        vsuOps += o.vsuOps;
+        bruOps += o.bruOps;
+        cruOps += o.cruOps;
+        loads += o.loads;
+        stores += o.stores;
+        l1Hits += o.l1Hits;
+        l2Hits += o.l2Hits;
+        l3Hits += o.l3Hits;
+        memAcc += o.memAcc;
+        energyNj += o.energyNj;
+        overlapNj += o.overlapNj;
+        transitionNj += o.transitionNj;
+        return *this;
+    }
+
+    RunCounters
+    operator-(const RunCounters &o) const
+    {
+        RunCounters r = *this;
+        r.cycles -= o.cycles;
+        r.instrs -= o.instrs;
+        r.fxuOps -= o.fxuOps;
+        r.lsuOps -= o.lsuOps;
+        r.vsuOps -= o.vsuOps;
+        r.bruOps -= o.bruOps;
+        r.cruOps -= o.cruOps;
+        r.loads -= o.loads;
+        r.stores -= o.stores;
+        r.l1Hits -= o.l1Hits;
+        r.l2Hits -= o.l2Hits;
+        r.l3Hits -= o.l3Hits;
+        r.memAcc -= o.memAcc;
+        r.energyNj -= o.energyNj;
+        r.overlapNj -= o.overlapNj;
+        r.transitionNj -= o.transitionNj;
+        return r;
+    }
+
+    RunCounters &
+    operator*=(double k)
+    {
+        cycles *= k;
+        instrs *= k;
+        fxuOps *= k;
+        lsuOps *= k;
+        vsuOps *= k;
+        bruOps *= k;
+        cruOps *= k;
+        loads *= k;
+        stores *= k;
+        l1Hits *= k;
+        l2Hits *= k;
+        l3Hits *= k;
+        memAcc *= k;
+        energyNj *= k;
+        overlapNj *= k;
+        transitionNj *= k;
+        return *this;
+    }
+
+    /** Committed instructions per cycle. */
+    double
+    ipc() const
+    {
+        return cycles > 0 ? instrs / cycles : 0.0;
+    }
+};
+
+} // namespace mprobe
+
+#endif // SIM_COUNTERS_HH

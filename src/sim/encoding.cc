@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Binary codification implementation.
+ */
+
+#include "sim/encoding.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace mprobe
+{
+
+namespace
+{
+
+uint32_t
+activityClass(float toggle)
+{
+    if (toggle < 0.1f)
+        return 0; // zero data
+    if (toggle < 0.9f)
+        return 1; // constant pattern
+    return 2;     // random data
+}
+
+float
+activityToggle(uint32_t cls)
+{
+    switch (cls) {
+      case 0: return 0.02f;
+      case 1: return 0.55f;
+      default: return 1.0f;
+    }
+}
+
+} // namespace
+
+uint32_t
+encodeInstruction(const Isa &isa, const ProgInst &pi)
+{
+    const InstrDef &d = isa.at(pi.op);
+    uint32_t word = d.encoding & 0xffff0000u;
+    uint32_t dep = static_cast<uint32_t>(
+        std::clamp(pi.depDist, 0, 255));
+    uint32_t stream =
+        pi.stream < 0
+            ? 0u
+            : static_cast<uint32_t>(std::min(pi.stream, 61) + 1);
+    word |= dep << 8;
+    word |= stream << 2;
+    word |= activityClass(pi.toggle);
+    return word;
+}
+
+ProgInst
+decodeInstruction(const Isa &isa, uint32_t word)
+{
+    uint32_t enc = word & 0xffff0000u;
+    Isa::OpIndex op = -1;
+    for (size_t i = 0; i < isa.size(); ++i) {
+        if ((isa.at(static_cast<Isa::OpIndex>(i)).encoding &
+             0xffff0000u) == enc) {
+            op = static_cast<Isa::OpIndex>(i);
+            break;
+        }
+    }
+    if (op < 0)
+        fatal(cat("decodeInstruction: unknown opcode field 0x",
+                  enc >> 16));
+    ProgInst pi;
+    pi.op = op;
+    pi.depDist = static_cast<int>((word >> 8) & 0xffu);
+    uint32_t stream = (word >> 2) & 0x3fu;
+    pi.stream = stream == 0 ? -1 : static_cast<int>(stream) - 1;
+    pi.toggle = activityToggle(word & 3u);
+    pi.takenRate = 1.0f;
+    return pi;
+}
+
+std::vector<uint32_t>
+encodeProgram(const Program &prog)
+{
+    if (!prog.isa)
+        fatal("encodeProgram: program without ISA");
+    std::vector<uint32_t> out;
+    out.reserve(prog.body.size());
+    for (const auto &pi : prog.body)
+        out.push_back(encodeInstruction(*prog.isa, pi));
+    return out;
+}
+
+Program
+decodeProgram(const Isa &isa, const std::vector<uint32_t> &words,
+              const std::string &name)
+{
+    Program p;
+    p.isa = &isa;
+    p.name = name;
+    int max_stream = -1;
+    for (uint32_t w : words) {
+        p.body.push_back(decodeInstruction(isa, w));
+        max_stream = std::max(max_stream, p.body.back().stream);
+    }
+    p.streams.resize(static_cast<size_t>(max_stream + 1));
+    return p;
+}
+
+} // namespace mprobe

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Binary codification of generated programs.
+ *
+ * The ISA definition carries "the binary codification of the
+ * instruction" (Section 2.1.1); this module uses it to assemble a
+ * Program into 32-bit instruction words and to disassemble words
+ * back, so generated micro-benchmarks can be exchanged as binary
+ * images. The word layout packs the synthesizer-level operands:
+ *
+ *   [31:16] primary opcode (InstrDef::encoding >> 16)
+ *   [15:8]  dependency distance (saturated at 255)
+ *   [7:2]   memory stream id + 1 (0 = none, saturated at 62)
+ *   [1:0]   data-activity class (0 zero / 1 pattern / 2 random)
+ */
+
+#ifndef SIM_ENCODING_HH
+#define SIM_ENCODING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/program.hh"
+
+namespace mprobe
+{
+
+/** Assemble one instruction into its 32-bit word. */
+uint32_t encodeInstruction(const Isa &isa, const ProgInst &pi);
+
+/** Disassemble one word (fatal() on an unknown opcode field). */
+ProgInst decodeInstruction(const Isa &isa, uint32_t word);
+
+/** Assemble the whole loop body. */
+std::vector<uint32_t> encodeProgram(const Program &prog);
+
+/**
+ * Disassemble a body. Stream bindings and activity classes are
+ * recovered; the stream *contents* live outside the text section,
+ * so the caller re-attaches MemStream data.
+ */
+Program decodeProgram(const Isa &isa,
+                      const std::vector<uint32_t> &words,
+                      const std::string &name = "decoded");
+
+} // namespace mprobe
+
+#endif // SIM_ENCODING_HH

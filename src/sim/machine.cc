@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Machine model implementation.
+ */
+
+#include "sim/machine.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace mprobe
+{
+
+std::vector<ChipConfig>
+ChipConfig::all()
+{
+    std::vector<ChipConfig> out;
+    for (int c = 1; c <= 8; ++c)
+        for (int s : {1, 2, 4})
+            out.push_back({c, s});
+    return out;
+}
+
+std::string
+ChipConfig::label() const
+{
+    return cat(cores, "-", smt);
+}
+
+Machine::Machine(const Isa &isa, const GroundTruthParams &p)
+    : isaPtr(&isa), exec(isa), params(p)
+{
+}
+
+Machine::Machine(const Isa &isa,
+                 const std::vector<CacheGeometry> &geoms,
+                 double clock_ghz, const GroundTruthParams &p)
+    : isaPtr(&isa), exec(isa), params(p)
+{
+    params.clockGhz = clock_ghz;
+    simOpts.cacheGeoms = geoms;
+}
+
+double
+Machine::staticCmpWatts(int cores) const
+{
+    return params.cmpLin * cores +
+           params.cmpCurve * std::pow(cores, params.cmpPow);
+}
+
+namespace
+{
+
+uint64_t
+hashStr(const std::string &s)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+} // namespace
+
+double
+Machine::sensorize(double watts, uint64_t seed) const
+{
+    Rng rng(seed);
+    double noisy =
+        watts * (1.0 + params.sensorNoiseFrac * rng.gaussian());
+    // TPMD readings have milliwatt granularity (Section 3).
+    return std::round(noisy * 1000.0) / 1000.0;
+}
+
+double
+Machine::idleWatts(const ChipConfig &cfg, uint64_t salt) const
+{
+    uint64_t seed = 0x1d1efeedull ^
+                    (static_cast<uint64_t>(cfg.cores) << 8) ^
+                    (static_cast<uint64_t>(cfg.smt) << 16) ^ salt;
+    return sensorize(params.idleWatts, seed);
+}
+
+RunResult
+Machine::run(const Program &prog, const ChipConfig &cfg,
+             uint64_t salt) const
+{
+    if (cfg.cores < 1 || cfg.cores > 8)
+        fatal(cat("bad core count ", cfg.cores));
+    if (cfg.smt != 1 && cfg.smt != 2 && cfg.smt != 4)
+        fatal(cat("bad SMT mode ", cfg.smt));
+    if (prog.isa != isaPtr)
+        fatal(cat("program '", prog.name,
+                  "' was generated for a different ISA"));
+
+    // First pass at the uncontended memory latency.
+    CoreSimOptions opts = simOpts;
+    CoreResult core = simulateCore(exec, prog, cfg.smt, opts);
+
+    // Shared-memory contention: when several cores stream from
+    // memory, the effective latency grows with aggregate demand.
+    double mem_per_cycle =
+        core.window.cycles > 0
+            ? core.window.memAcc / core.window.cycles
+            : 0.0;
+    if (cfg.cores > 1 && mem_per_cycle > 1e-3) {
+        double factor = 1.0 + params.memContentionK *
+                                  mem_per_cycle * (cfg.cores - 1);
+        opts.memLatency = static_cast<int>(
+            std::lround(ExecModel::memLatencyBase * factor));
+        core = simulateCore(exec, prog, cfg.smt, opts);
+    }
+
+    RunResult res;
+    res.config = cfg;
+    res.chip = core.window;
+    res.chip *= static_cast<double>(cfg.cores);
+    // Cycles are per core, not summed across cores.
+    res.chip.cycles = core.window.cycles;
+    res.coreIpc = core.window.ipc();
+    res.seconds =
+        core.window.cycles / (params.clockGhz * 1e9);
+
+    // Hidden chip power composition.
+    double dyn = cfg.cores * core.window.energyNj * 1e-9 /
+                 std::max(res.seconds, 1e-15);
+    double smt_w =
+        cfg.smt > 1
+            ? cfg.cores * (params.smtEffectWatts +
+                           (cfg.smt == 4 ? params.smt4ExtraWatts
+                                         : 0.0))
+            : 0.0;
+    double cmp_w = staticCmpWatts(cfg.cores);
+    double total = dyn + smt_w + cmp_w +
+                   params.uncoreActiveWatts + params.idleWatts;
+
+    uint64_t seed = hashStr(prog.name) ^
+                    (static_cast<uint64_t>(cfg.cores) << 32) ^
+                    (static_cast<uint64_t>(cfg.smt) << 40) ^ salt;
+    res.sensorWatts = sensorize(total, seed);
+
+    res.gtDynamicWatts = dyn;
+    res.gtSmtWatts = smt_w;
+    res.gtCmpWatts = cmp_w;
+    res.gtUncoreWatts = params.uncoreActiveWatts;
+    res.gtIdleWatts = params.idleWatts;
+    return res;
+}
+
+} // namespace mprobe

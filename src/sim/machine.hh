@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Chip-level machine model and power sensor.
+ *
+ * Plays the role of the paper's measurement platform (Section 3): an
+ * 8-core, 4-way-SMT POWER7-like system whose processor power is read
+ * through a TPMD-like sensor with milliwatt granularity. Deployment
+ * follows the paper exactly: one copy of the micro-benchmark per
+ * available hardware thread, pinned, run to a steady state.
+ *
+ * The chip power composes per-core dynamic energy (from the cycle
+ * level core model) with hidden static terms: workload-independent
+ * idle power, uncore power when active, a *convex* CMP term (the
+ * linear-CMP assumption of the estimated models is an approximation,
+ * mirroring the paper's Section 4.1.1 discussion), and a per-core SMT
+ * enable effect.
+ */
+
+#ifndef SIM_MACHINE_HH
+#define SIM_MACHINE_HH
+
+#include <string>
+
+#include "sim/core.hh"
+
+namespace mprobe
+{
+
+/** A CMP/SMT configuration, e.g. "4-2" = 4 cores, 2-way SMT. */
+struct ChipConfig
+{
+    int cores = 8;
+    int smt = 1;
+
+    /** All 24 configurations studied in the paper. */
+    static std::vector<ChipConfig> all();
+
+    /** "cores-smt" label used across the paper's figures. */
+    std::string label() const;
+
+    /** Total hardware threads. */
+    int threads() const { return cores * smt; }
+};
+
+/** Hidden chip-level ground-truth parameters. */
+struct GroundTruthParams
+{
+    double clockGhz = 3.0;
+    /** Workload-independent power (chip idle). */
+    double idleWatts = 55.0;
+    /** Constant uncore power once anything runs. */
+    double uncoreActiveWatts = 6.0;
+    /** CMP term: cmpLin*n + cmpCurve*n^cmpPow (convex in n). */
+    double cmpLin = 0.90;
+    double cmpCurve = 0.28;
+    double cmpPow = 1.55;
+    /** Extra power per core with SMT enabled ... */
+    double smtEffectWatts = 0.50;
+    /** ... nearly independent of 2-way vs 4-way (Section 4.1). */
+    double smt4ExtraWatts = 0.05;
+    /** Sensor noise (fraction of reading). */
+    double sensorNoiseFrac = 0.0015;
+    /** Shared-memory-bandwidth contention strength. */
+    double memContentionK = 6.0;
+};
+
+/** Everything one deployment/measurement produces. */
+struct RunResult
+{
+    ChipConfig config;
+    /** Chip-wide counter deltas over the measurement window. */
+    RunCounters chip;
+    /** Window duration in seconds. */
+    double seconds = 0.0;
+    /** Sensor reading: average chip power in watts (noisy,
+     * quantized to milliwatts). */
+    double sensorWatts = 0.0;
+    /** Per-core IPC over the window. */
+    double coreIpc = 0.0;
+
+    /**
+     * @name Ground-truth oracle (tests and EXPERIMENTS.md only)
+     * Never read by MicroProbe or by the power models.
+     */
+    /**@{*/
+    double gtDynamicWatts = 0.0;
+    double gtSmtWatts = 0.0;
+    double gtCmpWatts = 0.0;
+    double gtUncoreWatts = 0.0;
+    double gtIdleWatts = 0.0;
+    /**@}*/
+
+    /** Chip-wide event rate (events/second) for a counter value. */
+    double
+    rate(double counter_value) const
+    {
+        return seconds > 0 ? counter_value / seconds : 0.0;
+    }
+};
+
+/**
+ * The simulated machine: deploy a micro-benchmark on a CMP/SMT
+ * configuration and measure counters and power.
+ */
+class Machine
+{
+  public:
+    /** Build a machine executing programs over @p isa. */
+    explicit Machine(const Isa &isa,
+                     const GroundTruthParams &params =
+                         GroundTruthParams());
+
+    /**
+     * Build a machine whose cache geometry and clock follow a
+     * micro-architecture definition (for retargeting the framework
+     * to e.g. the POWER7+-like chip with its larger L3).
+     */
+    Machine(const Isa &isa, const std::vector<CacheGeometry> &geoms,
+            double clock_ghz,
+            const GroundTruthParams &params = GroundTruthParams());
+
+    /**
+     * Deploy one copy of @p prog per hardware thread of @p cfg, warm
+     * up, and measure a steady-state window.
+     *
+     * @param salt extra seed material for the sensor noise so
+     *             repeated measurements differ slightly, as on real
+     *             hardware.
+     */
+    RunResult run(const Program &prog, const ChipConfig &cfg,
+                  uint64_t salt = 0) const;
+
+    /** Sensor reading with no workload: workload-independent power. */
+    double idleWatts(const ChipConfig &cfg, uint64_t salt = 0) const;
+
+    /** Simulation knobs (iterations, prefetcher, ...). */
+    CoreSimOptions &simOptions() { return simOpts; }
+    const CoreSimOptions &simOptions() const { return simOpts; }
+
+    /** Ground-truth parameters (oracle; tests only). */
+    const GroundTruthParams &groundTruth() const { return params; }
+
+    const Isa &isa() const { return *isaPtr; }
+
+  private:
+    const Isa *isaPtr;
+    ExecModel exec;
+    GroundTruthParams params;
+    CoreSimOptions simOpts;
+
+    double staticCmpWatts(int cores) const;
+    double sensorize(double watts, uint64_t seed) const;
+};
+
+} // namespace mprobe
+
+#endif // SIM_MACHINE_HH

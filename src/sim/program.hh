@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Executable program representation.
+ *
+ * A Program is the "binary" the simulated machine runs: the body of
+ * one endless loop (the common skeleton of all the paper's
+ * micro-benchmarks, Table 2) plus the memory streams its memory
+ * instructions walk. MicroProbe's synthesizer produces Programs; the
+ * simulator and the C-code emitter consume them.
+ */
+
+#ifndef SIM_PROGRAM_HH
+#define SIM_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hh"
+
+namespace mprobe
+{
+
+/**
+ * A rotating set of cache-line addresses accessed round-robin by the
+ * memory instructions bound to it. The analytical cache model
+ * constructs the line sets so that the steady-state hit level of
+ * every access is known statically (paper Section 2.1.3).
+ */
+struct MemStream
+{
+    /** Byte addresses of line starts, visited round-robin. */
+    std::vector<uint64_t> lines;
+};
+
+/** One static instruction of the loop body. */
+struct ProgInst
+{
+    /** Opcode index into the Program's ISA. */
+    int op = 0;
+    /**
+     * Register dependency distance: this instruction reads the
+     * result of the instruction depDist slots earlier in program
+     * order (0 = no register dependency). Wraps across loop
+     * iterations.
+     */
+    int depDist = 0;
+    /** Memory stream id for memory operations, -1 otherwise. */
+    int stream = -1;
+    /**
+     * Data activity factor in [0,1] derived from the register /
+     * immediate initialization policy: 0 for all-zero data, ~0.5 for
+     * constant patterns, ~1 for random data. Consumed by the (hidden)
+     * energy model to reproduce data-dependent switching power.
+     */
+    float toggle = 1.0f;
+    /** Taken probability for conditional branches. */
+    float takenRate = 1.0f;
+};
+
+/** A complete micro-benchmark: an endless loop plus its data. */
+struct Program
+{
+    /** ISA the opcode indices refer to. */
+    const Isa *isa = nullptr;
+    /** Loop body in program order (the terminating branch included). */
+    std::vector<ProgInst> body;
+    /** Memory streams referenced by body[].stream. */
+    std::vector<MemStream> streams;
+    /** Human-readable benchmark name. */
+    std::string name;
+
+    /** Number of static instructions in the loop body. */
+    size_t size() const { return body.size(); }
+
+    /** Count body instructions satisfying a predicate on InstrDef. */
+    template <typename Pred>
+    size_t
+    countIf(Pred pred) const
+    {
+        size_t n = 0;
+        for (const auto &pi : body)
+            if (pred(isa->at(pi.op)))
+                ++n;
+        return n;
+    }
+};
+
+} // namespace mprobe
+
+#endif // SIM_PROGRAM_HH

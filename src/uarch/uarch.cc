@@ -1,0 +1,393 @@
+/**
+ * @file
+ * UarchDef implementation: parser, queries and builtin definition.
+ */
+
+#include "uarch/uarch.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/str.hh"
+
+namespace mprobe
+{
+
+UarchDef::UarchDef(std::string name) : uarchName(std::move(name)) {}
+
+void
+UarchDef::setChip(double clock_ghz, int max_cores, int max_smt,
+                  int dispatch_width)
+{
+    clock = clock_ghz;
+    cores = max_cores;
+    smt = max_smt;
+    dispatch = dispatch_width;
+}
+
+void
+UarchDef::setIpcFormula(const std::string &expr)
+{
+    ipcExpr = expr;
+}
+
+void
+UarchDef::addUnit(const UnitInfo &u)
+{
+    if (hasUnit(u.name))
+        fatal(cat("duplicate unit '", u.name, "'"));
+    unitList.push_back(u);
+}
+
+void
+UarchDef::addCache(const CacheInfo &c)
+{
+    for (const auto &e : cacheList)
+        if (e.name == c.name)
+            fatal(cat("duplicate cache level '", c.name, "'"));
+    cacheList.push_back(c);
+}
+
+void
+UarchDef::setMemLatency(int cycles, const std::string &pmc)
+{
+    memLat = cycles;
+    memCounter = pmc;
+}
+
+const UnitInfo &
+UarchDef::unit(const std::string &name) const
+{
+    for (const auto &u : unitList)
+        if (u.name == name)
+            return u;
+    fatal(cat("unknown functional unit '", name, "' in ",
+              uarchName));
+}
+
+bool
+UarchDef::hasUnit(const std::string &name) const
+{
+    for (const auto &u : unitList)
+        if (u.name == name)
+            return true;
+    return false;
+}
+
+const CacheInfo &
+UarchDef::cache(const std::string &name) const
+{
+    for (const auto &c : cacheList)
+        if (c.name == name)
+            return c;
+    fatal(cat("unknown cache level '", name, "' in ", uarchName));
+}
+
+std::vector<CacheGeometry>
+UarchDef::cacheGeometries() const
+{
+    std::vector<CacheGeometry> out;
+    for (const auto &c : cacheList)
+        out.push_back(c.geom);
+    return out;
+}
+
+const InstrProps &
+UarchDef::props(const std::string &mnemonic) const
+{
+    auto it = instrProps.find(mnemonic);
+    return it == instrProps.end() ? emptyProps : it->second;
+}
+
+InstrProps &
+UarchDef::propsMut(const std::string &mnemonic)
+{
+    return instrProps[mnemonic];
+}
+
+bool
+UarchDef::stresses(const std::string &mnemonic,
+                   const std::string &unit_name) const
+{
+    const InstrProps &p = props(mnemonic);
+    for (const auto &u : p.units)
+        if (u == unit_name)
+            return true;
+    return false;
+}
+
+size_t
+UarchDef::bootstrappedCount() const
+{
+    size_t n = 0;
+    for (const auto &[name, p] : instrProps)
+        if (p.complete())
+            ++n;
+    return n;
+}
+
+UarchDef
+UarchDef::fromText(const std::string &text, const std::string &origin)
+{
+    UarchDef def;
+    std::istringstream in(text);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        std::string context = cat(origin, ":", lineno);
+        std::string s = trim(line);
+        if (s.empty() || s[0] == '#')
+            continue;
+        auto fields = splitWs(s);
+        const std::string &kw = fields[0];
+        auto need = [&](size_t k) {
+            if (fields.size() < k + 1)
+                fatal(cat("directive '", kw, "' needs ", k,
+                          " arguments in ", context));
+        };
+        auto kv = [&](size_t from, auto &&fn) {
+            for (size_t i = from; i < fields.size(); ++i) {
+                auto parts = split(fields[i], '=');
+                if (parts.size() != 2)
+                    fatal(cat("expected key=value, got '",
+                              fields[i], "' in ", context));
+                fn(parts[0], parts[1]);
+            }
+        };
+        if (kw == "uarch") {
+            need(1);
+            def.uarchName = fields[1];
+        } else if (kw == "clock") {
+            need(1);
+            def.clock = parseDouble(fields[1], context);
+        } else if (kw == "cores") {
+            need(1);
+            def.cores = static_cast<int>(
+                parseInt(fields[1], context));
+        } else if (kw == "smt") {
+            need(1);
+            def.smt = static_cast<int>(parseInt(fields[1], context));
+        } else if (kw == "dispatch") {
+            need(1);
+            def.dispatch = static_cast<int>(
+                parseInt(fields[1], context));
+        } else if (kw == "ipc") {
+            need(1);
+            std::string expr;
+            for (size_t i = 1; i < fields.size(); ++i)
+                expr += (i == 1 ? "" : " ") + fields[i];
+            def.ipcExpr = expr;
+        } else if (kw == "unit") {
+            need(1);
+            UnitInfo u;
+            u.name = fields[1];
+            kv(2, [&](const std::string &k, const std::string &v) {
+                if (k == "pipes")
+                    u.pipes = static_cast<int>(parseInt(v, context));
+                else if (k == "pmc")
+                    u.pmc = v;
+                else if (k == "area")
+                    u.areaMm2 = parseDouble(v, context);
+                else if (k == "desc")
+                    u.desc = v;
+                else
+                    fatal(cat("unknown unit key '", k, "' in ",
+                              context));
+            });
+            def.addUnit(u);
+        } else if (kw == "cache") {
+            need(1);
+            CacheInfo c;
+            c.name = fields[1];
+            kv(2, [&](const std::string &k, const std::string &v) {
+                if (k == "size")
+                    c.geom.sizeBytes = static_cast<uint64_t>(
+                        parseInt(v, context));
+                else if (k == "assoc")
+                    c.geom.assoc = static_cast<int>(
+                        parseInt(v, context));
+                else if (k == "line")
+                    c.geom.lineBytes = static_cast<int>(
+                        parseInt(v, context));
+                else if (k == "latency")
+                    c.loadToUse = static_cast<int>(
+                        parseInt(v, context));
+                else if (k == "pmc")
+                    c.pmc = v;
+                else
+                    fatal(cat("unknown cache key '", k, "' in ",
+                              context));
+            });
+            def.addCache(c);
+        } else if (kw == "mem") {
+            kv(1, [&](const std::string &k, const std::string &v) {
+                if (k == "latency")
+                    def.memLat = static_cast<int>(
+                        parseInt(v, context));
+                else if (k == "pmc")
+                    def.memCounter = v;
+                else
+                    fatal(cat("unknown mem key '", k, "' in ",
+                              context));
+            });
+        } else if (kw == "iprop") {
+            need(1);
+            InstrProps &p = def.propsMut(fields[1]);
+            kv(2, [&](const std::string &k, const std::string &v) {
+                if (k == "latency")
+                    p.latency = parseDouble(v, context);
+                else if (k == "throughput")
+                    p.throughput = parseDouble(v, context);
+                else if (k == "epi")
+                    p.epi = parseDouble(v, context);
+                else if (k == "power")
+                    p.avgPower = parseDouble(v, context);
+                else if (k == "units")
+                    p.units = split(v, ',');
+                else
+                    fatal(cat("unknown iprop key '", k, "' in ",
+                              context));
+            });
+        } else {
+            fatal(cat("unknown directive '", kw, "' in ", context));
+        }
+    }
+    return def;
+}
+
+UarchDef
+UarchDef::fromFile(const std::string &path)
+{
+    std::ifstream f(path);
+    if (!f)
+        fatal(cat("cannot open uarch definition '", path, "'"));
+    std::ostringstream os;
+    os << f.rdbuf();
+    return fromText(os.str(), path);
+}
+
+std::string
+UarchDef::toText() const
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << "uarch " << uarchName << "\n"
+       << "clock " << clock << "\n"
+       << "cores " << cores << "\n"
+       << "smt " << smt << "\n"
+       << "dispatch " << dispatch << "\n"
+       << "ipc " << ipcExpr << "\n";
+    for (const auto &u : unitList) {
+        os << "unit " << u.name << " pipes=" << u.pipes
+           << " pmc=" << u.pmc << " area=" << u.areaMm2;
+        if (!u.desc.empty())
+            os << " desc=" << u.desc;
+        os << "\n";
+    }
+    for (const auto &c : cacheList) {
+        os << "cache " << c.name << " size=" << c.geom.sizeBytes
+           << " assoc=" << c.geom.assoc
+           << " line=" << c.geom.lineBytes
+           << " latency=" << c.loadToUse << " pmc=" << c.pmc
+           << "\n";
+    }
+    os << "mem latency=" << memLat << " pmc=" << memCounter << "\n";
+    for (const auto &[name, p] : instrProps) {
+        os << "iprop " << name;
+        if (p.latency >= 0)
+            os << " latency=" << p.latency;
+        if (p.throughput >= 0)
+            os << " throughput=" << p.throughput;
+        if (p.epi >= 0)
+            os << " epi=" << p.epi;
+        if (p.avgPower >= 0)
+            os << " power=" << p.avgPower;
+        if (!p.units.empty()) {
+            os << " units=";
+            for (size_t i = 0; i < p.units.size(); ++i)
+                os << (i ? "," : "") << p.units[i];
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+namespace
+{
+
+const char builtin_uarch_text[] = R"UARCH(
+# Partial P7-like micro-architecture definition: the three bootstrap
+# inputs (functional units + counters, IPC formula, chip shape).
+# Per-instruction properties (iprop lines) are discovered by the
+# automatic bootstrap process and re-serialized afterwards.
+uarch POWER7-like
+clock 3.0
+cores 8
+smt 4
+dispatch 6
+ipc PM_RUN_INST_CMPL / PM_RUN_CYC
+unit FXU pipes=2 pmc=PM_FXU_FIN area=10.8 desc=fixed_point_unit
+unit LSU pipes=2 pmc=PM_LSU_FIN area=14.2 desc=load_store_unit
+unit VSU pipes=4 pmc=PM_VSU_FIN area=21.5 desc=vector_scalar_unit
+unit BRU pipes=1 pmc=PM_BRU_FIN area=3.1 desc=branch_unit
+unit CRU pipes=1 pmc=PM_CRU_FIN area=1.9 desc=condition_register_unit
+cache L1 size=32768 assoc=8 line=128 latency=2 pmc=PM_DATA_FROM_L1
+cache L2 size=262144 assoc=8 line=128 latency=8 pmc=PM_DATA_FROM_L2
+cache L3 size=4194304 assoc=8 line=128 latency=26 pmc=PM_DATA_FROM_L3
+mem latency=220 pmc=PM_DATA_FROM_MEM
+)UARCH";
+
+const char builtin_p7plus_text[] = R"UARCH(
+# Partial P7+-like micro-architecture definition: same cores and
+# units, higher clock, doubled per-core L3 (the POWER7+ shrink grew
+# the L3 substantially). Used to demonstrate that generation
+# policies retarget across architectures without modification.
+uarch POWER7+-like
+clock 3.6
+cores 8
+smt 4
+dispatch 6
+ipc PM_RUN_INST_CMPL / PM_RUN_CYC
+unit FXU pipes=2 pmc=PM_FXU_FIN area=9.6 desc=fixed_point_unit
+unit LSU pipes=2 pmc=PM_LSU_FIN area=12.6 desc=load_store_unit
+unit VSU pipes=4 pmc=PM_VSU_FIN area=19.1 desc=vector_scalar_unit
+unit BRU pipes=1 pmc=PM_BRU_FIN area=2.8 desc=branch_unit
+unit CRU pipes=1 pmc=PM_CRU_FIN area=1.7 desc=condition_register_unit
+cache L1 size=32768 assoc=8 line=128 latency=2 pmc=PM_DATA_FROM_L1
+cache L2 size=262144 assoc=8 line=128 latency=8 pmc=PM_DATA_FROM_L2
+cache L3 size=8388608 assoc=8 line=128 latency=28 pmc=PM_DATA_FROM_L3
+mem latency=220 pmc=PM_DATA_FROM_MEM
+)UARCH";
+
+} // namespace
+
+const std::string &
+builtinP7PlusUarchText()
+{
+    static const std::string text(builtin_p7plus_text);
+    return text;
+}
+
+UarchDef
+builtinP7PlusUarch()
+{
+    return UarchDef::fromText(builtinP7PlusUarchText(),
+                              "<builtin-p7plus>");
+}
+
+const std::string &
+builtinP7UarchText()
+{
+    static const std::string text(builtin_uarch_text);
+    return text;
+}
+
+UarchDef
+builtinP7Uarch()
+{
+    return UarchDef::fromText(builtinP7UarchText(), "<builtin-p7>");
+}
+
+} // namespace mprobe

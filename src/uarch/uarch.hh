@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Micro-architecture definition module (paper Section 2.1.2).
+ *
+ * Holds the information "related to the specific micro-architecture
+ * implementation": functional units and their hierarchy, cache
+ * geometry, floorplan areas, the performance counters associated with
+ * each component, and — from the ISA point of view — per-instruction
+ * latency, throughput, EPI and the mapping between instructions and
+ * the components they stress.
+ *
+ * Like the ISA, the definition is supplied through readable text
+ * files. A definition may be *partial*: the paper's automatic
+ * bootstrap process (implemented in microprobe/bootstrap) fills in
+ * the per-instruction properties by generating and measuring
+ * micro-benchmarks, requiring only (a) the functional units and their
+ * counters, (b) the IPC formula, and (c) the ISA.
+ */
+
+#ifndef UARCH_UARCH_HH
+#define UARCH_UARCH_HH
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/cache.hh"
+
+namespace mprobe
+{
+
+/** One functional unit of the definition. */
+struct UnitInfo
+{
+    std::string name;      //!< e.g. "FXU"
+    int pipes = 1;         //!< execution pipes
+    std::string pmc;       //!< associated counter, e.g. "PM_FXU_FIN"
+    double areaMm2 = 0.0;  //!< floorplan area (layout information)
+    std::string desc;
+};
+
+/** One cache level of the definition, with its counter and timing. */
+struct CacheInfo
+{
+    std::string name;      //!< "L1", "L2", "L3"
+    CacheGeometry geom;
+    int loadToUse = 0;     //!< load-to-use latency in cycles
+    std::string pmc;       //!< hit counter, e.g. "PM_DATA_FROM_L2"
+};
+
+/**
+ * Per-instruction micro-architectural properties. A field below
+ * zero means "unknown"; the bootstrap process fills them.
+ */
+struct InstrProps
+{
+    double latency = -1.0;     //!< result latency, cycles
+    double throughput = -1.0;  //!< sustained IPC, one thread
+    double epi = -1.0;         //!< energy per instruction (relative)
+    double avgPower = -1.0;    //!< average sustained power (relative)
+    /** Names of the units this instruction stresses. */
+    std::vector<std::string> units;
+
+    bool
+    complete() const
+    {
+        return latency >= 0 && throughput >= 0 && epi >= 0 &&
+               !units.empty();
+    }
+};
+
+/** The queryable micro-architecture definition. */
+class UarchDef
+{
+  public:
+    explicit UarchDef(std::string name = "anonymous");
+
+    /** Parse a definition from text; fatal() on malformed input. */
+    static UarchDef fromText(const std::string &text,
+                             const std::string &origin = "<string>");
+
+    /** Parse a definition file. */
+    static UarchDef fromFile(const std::string &path);
+
+    /** Serialize (including bootstrapped properties). */
+    std::string toText() const;
+
+    /** @name Chip-level attributes */
+    /**@{*/
+    const std::string &name() const { return uarchName; }
+    double clockGhz() const { return clock; }
+    int maxCores() const { return cores; }
+    int maxSmt() const { return smt; }
+    int dispatchWidth() const { return dispatch; }
+    const std::string &ipcFormula() const { return ipcExpr; }
+    /**@}*/
+
+    /** @name Functional units */
+    /**@{*/
+    const std::vector<UnitInfo> &units() const { return unitList; }
+    /** Unit by name; fatal() when absent. */
+    const UnitInfo &unit(const std::string &name) const;
+    bool hasUnit(const std::string &name) const;
+    /**@}*/
+
+    /** @name Cache hierarchy */
+    /**@{*/
+    const std::vector<CacheInfo> &caches() const { return cacheList; }
+    /** Cache level by name ("L1".."L3"); fatal() when absent. */
+    const CacheInfo &cache(const std::string &name) const;
+    /** Geometries ordered L1..L3 (for CacheHierarchy/model). */
+    std::vector<CacheGeometry> cacheGeometries() const;
+    /** Main-memory latency in cycles. */
+    int memLatency() const { return memLat; }
+    /**@}*/
+
+    /** @name Per-instruction properties */
+    /**@{*/
+    /** Properties for a mnemonic (empty record when unknown). */
+    const InstrProps &props(const std::string &mnemonic) const;
+    /** Mutable access used by the bootstrap process. */
+    InstrProps &propsMut(const std::string &mnemonic);
+    /** True when the instruction stresses the named unit
+     * (Figure 2, lines 14-16). */
+    bool stresses(const std::string &mnemonic,
+                  const std::string &unit) const;
+    /** Number of instructions with complete properties. */
+    size_t bootstrappedCount() const;
+    /**@}*/
+
+    /** @name Construction helpers (used by the builtin definition) */
+    /**@{*/
+    void setChip(double clock_ghz, int max_cores, int max_smt,
+                 int dispatch_width);
+    void setIpcFormula(const std::string &expr);
+    void addUnit(const UnitInfo &u);
+    void addCache(const CacheInfo &c);
+    void setMemLatency(int cycles, const std::string &pmc);
+    const std::string &memPmc() const { return memCounter; }
+    /**@}*/
+
+  private:
+    std::string uarchName;
+    double clock = 3.0;
+    int cores = 8;
+    int smt = 4;
+    int dispatch = 6;
+    std::string ipcExpr = "PM_RUN_INST_CMPL / PM_RUN_CYC";
+    std::vector<UnitInfo> unitList;
+    std::vector<CacheInfo> cacheList;
+    int memLat = 220;
+    std::string memCounter = "PM_DATA_FROM_MEM";
+    std::map<std::string, InstrProps> instrProps;
+    InstrProps emptyProps;
+};
+
+/**
+ * The built-in *partial* P7-like definition: chip attributes, the
+ * FXU/LSU/VSU/BRU/CRU units with their counters and areas, the cache
+ * hierarchy and the IPC formula — i.e. exactly the three inputs the
+ * paper's bootstrap process requires, with every per-instruction
+ * property left for the bootstrap to discover.
+ */
+UarchDef builtinP7Uarch();
+
+/** The raw text behind builtinP7Uarch(). */
+const std::string &builtinP7UarchText();
+
+/**
+ * A second built-in definition — a P7+-like chip (higher clock,
+ * doubled per-core L3) — demonstrating that generation policies
+ * retarget across architectures without modification.
+ */
+UarchDef builtinP7PlusUarch();
+
+/** The raw text behind builtinP7PlusUarch(). */
+const std::string &builtinP7PlusUarchText();
+
+} // namespace mprobe
+
+#endif // UARCH_UARCH_HH

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Argument parser implementation.
+ */
+
+#include "util/args.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/str.hh"
+
+namespace mprobe
+{
+
+void
+ArgParser::addOption(const std::string &name,
+                     const std::string &default_value,
+                     const std::string &help)
+{
+    opts[name] = Opt{default_value, help, false, false};
+}
+
+void
+ArgParser::addFlag(const std::string &name, const std::string &help)
+{
+    opts[name] = Opt{"0", help, true, false};
+}
+
+std::string
+ArgParser::usage(const std::string &tool_name,
+                 const std::string &desc) const
+{
+    std::ostringstream os;
+    os << "usage: " << tool_name << " [options] [args]\n\n"
+       << desc << "\n\noptions:\n";
+    for (const auto &[name, o] : opts) {
+        os << "  --" << name;
+        if (!o.isFlag)
+            os << " <value> (default: "
+               << (o.value.empty() ? "none" : o.value) << ")";
+        os << "\n      " << o.help << "\n";
+    }
+    os << "  --help\n      print this message\n";
+    return os.str();
+}
+
+void
+ArgParser::parse(int argc, const char *const *argv,
+                 const std::string &tool_desc)
+{
+    tool = argc > 0 ? argv[0] : "tool";
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--help" || a == "-h") {
+            std::fputs(usage(tool, tool_desc).c_str(), stdout);
+            std::exit(0);
+        }
+        if (a.rfind("--", 0) != 0) {
+            pos.push_back(a);
+            continue;
+        }
+        std::string name = a.substr(2);
+        std::string value;
+        bool has_value = false;
+        auto eq = name.find('=');
+        if (eq != std::string::npos) {
+            value = name.substr(eq + 1);
+            name = name.substr(0, eq);
+            has_value = true;
+        }
+        auto it = opts.find(name);
+        if (it == opts.end())
+            fatal(cat("unknown option '--", name, "'\n",
+                      usage(tool, tool_desc)));
+        if (it->second.isFlag) {
+            if (has_value)
+                fatal(cat("flag '--", name, "' takes no value"));
+            it->second.value = "1";
+            it->second.set = true;
+            continue;
+        }
+        if (!has_value) {
+            if (i + 1 >= argc)
+                fatal(cat("option '--", name, "' needs a value"));
+            value = argv[++i];
+        }
+        it->second.value = value;
+        it->second.set = true;
+    }
+}
+
+const std::string &
+ArgParser::get(const std::string &name) const
+{
+    auto it = opts.find(name);
+    if (it == opts.end())
+        panic(cat("undeclared option '", name, "'"));
+    return it->second.value;
+}
+
+long
+ArgParser::getInt(const std::string &name) const
+{
+    return parseInt(get(name), cat("--", name));
+}
+
+double
+ArgParser::getDouble(const std::string &name) const
+{
+    return parseDouble(get(name), cat("--", name));
+}
+
+bool
+ArgParser::getFlag(const std::string &name) const
+{
+    return get(name) == "1";
+}
+
+} // namespace mprobe

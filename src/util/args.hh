@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Minimal command-line argument parsing for the tools.
+ *
+ * Supports `--key value`, `--key=value` and boolean `--flag`
+ * switches plus positional arguments, with self-generating usage
+ * text. Deliberately tiny; not a general-purpose library.
+ */
+
+#ifndef UTIL_ARGS_HH
+#define UTIL_ARGS_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mprobe
+{
+
+/** Parsed command line with typed accessors. */
+class ArgParser
+{
+  public:
+    /** Declare an option with a default value and help text. */
+    void addOption(const std::string &name,
+                   const std::string &default_value,
+                   const std::string &help);
+
+    /** Declare a boolean flag (default false). */
+    void addFlag(const std::string &name, const std::string &help);
+
+    /**
+     * Parse argv. Unknown options or missing values call fatal()
+     * with the usage text; `--help` prints usage and exits 0.
+     */
+    void parse(int argc, const char *const *argv,
+               const std::string &tool_desc);
+
+    /** @name Accessors (after parse) */
+    /**@{*/
+    const std::string &get(const std::string &name) const;
+    long getInt(const std::string &name) const;
+    double getDouble(const std::string &name) const;
+    bool getFlag(const std::string &name) const;
+    const std::vector<std::string> &positional() const
+    {
+        return pos;
+    }
+    /**@}*/
+
+    /** Usage text from the declared options. */
+    std::string usage(const std::string &tool,
+                      const std::string &desc) const;
+
+  private:
+    struct Opt
+    {
+        std::string value;
+        std::string help;
+        bool isFlag = false;
+        bool set = false;
+    };
+    std::map<std::string, Opt> opts;
+    std::vector<std::string> pos;
+    std::string tool;
+};
+
+} // namespace mprobe
+
+#endif // UTIL_ARGS_HH

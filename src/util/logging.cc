@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Implementation of the logging helpers.
+ */
+
+#include "util/logging.hh"
+
+#include <cstdio>
+#include <exception>
+
+namespace mprobe
+{
+
+namespace
+{
+LogLevel globalLevel = LogLevel::Normal;
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+void
+fatal(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+inform(const std::string &msg)
+{
+    if (globalLevel != LogLevel::Quiet)
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+void
+debugTrace(const std::string &msg)
+{
+    if (globalLevel == LogLevel::Verbose)
+        std::fprintf(stderr, "debug: %s\n", msg.c_str());
+}
+
+} // namespace mprobe

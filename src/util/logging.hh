@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Status-message and error-handling helpers.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (bugs in this library), fatal() is for user errors that
+ * make continuing impossible, warn()/inform() report conditions the
+ * user should know about without stopping.
+ */
+
+#ifndef UTIL_LOGGING_HH
+#define UTIL_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace mprobe
+{
+
+/** Verbosity levels for status messages. */
+enum class LogLevel
+{
+    Quiet,   //!< suppress inform() output
+    Normal,  //!< default: warnings and informational messages
+    Verbose  //!< additionally print debug traces
+};
+
+/** Set the global verbosity level for inform()/debugTrace(). */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity level. */
+LogLevel logLevel();
+
+/**
+ * Abort with a message. Use when an internal invariant is violated,
+ * i.e. a bug in this library rather than bad user input.
+ */
+[[noreturn]] void panic(const std::string &msg);
+
+/**
+ * Exit with an error message. Use when user-supplied input (a
+ * definition file, a script parameter, ...) makes continuing
+ * impossible.
+ */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Print a warning; execution continues. */
+void warn(const std::string &msg);
+
+/** Print an informational status message (suppressed when Quiet). */
+void inform(const std::string &msg);
+
+/** Print a debug trace message (only when Verbose). */
+void debugTrace(const std::string &msg);
+
+/**
+ * Format helper: streams all arguments into one string.
+ * Example: panic(cat("bad unit id ", id, " for core ", core)).
+ */
+template <typename... Args>
+std::string
+cat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace mprobe
+
+#endif // UTIL_LOGGING_HH

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * OLS solver implementation.
+ */
+
+#include "util/regression.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "util/logging.hh"
+
+namespace mprobe
+{
+
+double
+RegressionResult::predict(const std::vector<double> &x) const
+{
+    if (x.size() != coeffs.size())
+        panic(cat("predict: ", x.size(), " predictors for ",
+                  coeffs.size(), " coefficients"));
+    double y = intercept;
+    for (size_t i = 0; i < x.size(); ++i)
+        y += coeffs[i] * x[i];
+    return y;
+}
+
+std::vector<double>
+solveLinearSystem(std::vector<double> a, std::vector<double> b,
+                  size_t n)
+{
+    if (a.size() != n * n || b.size() != n)
+        panic("solveLinearSystem: bad dimensions");
+    for (size_t col = 0; col < n; ++col) {
+        // Partial pivot.
+        size_t piv = col;
+        for (size_t r = col + 1; r < n; ++r)
+            if (std::abs(a[r * n + col]) > std::abs(a[piv * n + col]))
+                piv = r;
+        if (std::abs(a[piv * n + col]) < 1e-14)
+            return {};
+        if (piv != col) {
+            for (size_t c = 0; c < n; ++c)
+                std::swap(a[col * n + c], a[piv * n + c]);
+            std::swap(b[col], b[piv]);
+        }
+        double d = a[col * n + col];
+        for (size_t r = col + 1; r < n; ++r) {
+            double f = a[r * n + col] / d;
+            if (f == 0.0)
+                continue;
+            for (size_t c = col; c < n; ++c)
+                a[r * n + c] -= f * a[col * n + c];
+            b[r] -= f * b[col];
+        }
+    }
+    std::vector<double> x(n, 0.0);
+    for (size_t ri = n; ri-- > 0;) {
+        double s = b[ri];
+        for (size_t c = ri + 1; c < n; ++c)
+            s -= a[ri * n + c] * x[c];
+        x[ri] = s / a[ri * n + ri];
+    }
+    return x;
+}
+
+namespace
+{
+
+/**
+ * One unconstrained fit over the active predictor columns. Returns
+ * coefficients indexed by original column (inactive columns zero)
+ * plus the intercept.
+ */
+std::pair<std::vector<double>, double>
+fitActive(const std::vector<std::vector<double>> &x,
+          const std::vector<double> &y,
+          const std::vector<size_t> &active, bool fit_intercept,
+          double ridge)
+{
+    size_t p = active.size();
+    size_t dim = p + (fit_intercept ? 1 : 0);
+    size_t cols = x.empty() ? 0 : x[0].size();
+    std::vector<double> coeffs(cols, 0.0);
+    double intercept = 0.0;
+    if (dim == 0)
+        return {coeffs, intercept};
+
+    // Normal equations: (A^T A + ridge*I) w = A^T y where A's columns
+    // are the active predictors plus an optional all-ones column.
+    std::vector<double> ata(dim * dim, 0.0);
+    std::vector<double> aty(dim, 0.0);
+    auto colval = [&](size_t i, size_t j) -> double {
+        return j < p ? x[i][active[j]] : 1.0;
+    };
+    for (size_t i = 0; i < x.size(); ++i) {
+        for (size_t j = 0; j < dim; ++j) {
+            double vj = colval(i, j);
+            aty[j] += vj * y[i];
+            for (size_t k = j; k < dim; ++k)
+                ata[j * dim + k] += vj * colval(i, k);
+        }
+    }
+    for (size_t j = 0; j < dim; ++j) {
+        for (size_t k = 0; k < j; ++k)
+            ata[j * dim + k] = ata[k * dim + j];
+        ata[j * dim + j] += ridge;
+    }
+    std::vector<double> w = solveLinearSystem(ata, aty, dim);
+    if (w.empty()) {
+        // Singular even with ridge; strengthen and retry once.
+        for (size_t j = 0; j < dim; ++j)
+            ata[j * dim + j] += 1e-6;
+        w = solveLinearSystem(ata, aty, dim);
+        if (w.empty())
+            return {coeffs, intercept};
+    }
+    for (size_t j = 0; j < p; ++j)
+        coeffs[active[j]] = w[j];
+    if (fit_intercept)
+        intercept = w[p];
+    return {coeffs, intercept};
+}
+
+} // namespace
+
+RegressionResult
+fitLeastSquares(const std::vector<std::vector<double>> &x,
+                const std::vector<double> &y,
+                const RegressionOptions &opts)
+{
+    if (x.size() != y.size())
+        panic(cat("fitLeastSquares: ", x.size(), " rows vs ",
+                  y.size(), " targets"));
+    if (x.empty())
+        panic("fitLeastSquares: no samples");
+    size_t cols = x[0].size();
+    for (const auto &row : x)
+        if (row.size() != cols)
+            panic("fitLeastSquares: ragged predictor matrix");
+
+    std::vector<size_t> active;
+    for (size_t j = 0; j < cols; ++j)
+        active.push_back(j);
+
+    auto [coeffs, intercept] =
+        fitActive(x, y, active, opts.fitIntercept, opts.ridge);
+
+    if (opts.nonNegative) {
+        // Active-set loop: drop the most negative coefficient and
+        // refit until all remaining coefficients are non-negative.
+        for (;;) {
+            size_t worst = cols;
+            double worst_val = -1e-12;
+            for (size_t j : active) {
+                if (coeffs[j] < worst_val) {
+                    worst_val = coeffs[j];
+                    worst = j;
+                }
+            }
+            if (worst == cols)
+                break;
+            active.erase(
+                std::find(active.begin(), active.end(), worst));
+            std::tie(coeffs, intercept) = fitActive(
+                x, y, active, opts.fitIntercept, opts.ridge);
+        }
+        for (auto &c : coeffs)
+            if (c < 0.0)
+                c = 0.0;
+    }
+
+    RegressionResult res;
+    res.coeffs = std::move(coeffs);
+    res.intercept = intercept;
+
+    double ym = 0.0;
+    for (double v : y)
+        ym += v;
+    ym /= static_cast<double>(y.size());
+    double ss_tot = 0.0;
+    double ss_res = 0.0;
+    res.residuals.resize(y.size());
+    for (size_t i = 0; i < y.size(); ++i) {
+        double pred = res.predict(x[i]);
+        res.residuals[i] = y[i] - pred;
+        ss_res += res.residuals[i] * res.residuals[i];
+        ss_tot += (y[i] - ym) * (y[i] - ym);
+    }
+    res.r2 = ss_tot > 1e-300 ? 1.0 - ss_res / ss_tot : 1.0;
+    return res;
+}
+
+} // namespace mprobe

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Ordinary least squares regression.
+ *
+ * The power-modelling methodology in the paper is built from "a
+ * sequence of linear regressions" (Section 4.1). This module provides
+ * the shared solver: multiple linear regression via the normal
+ * equations with a small ridge fallback for near-singular systems,
+ * plus an optional non-negativity constraint used when fitting power
+ * weights (a functional unit cannot contribute negative power).
+ */
+
+#ifndef UTIL_REGRESSION_HH
+#define UTIL_REGRESSION_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace mprobe
+{
+
+/** Result of a least-squares fit. */
+struct RegressionResult
+{
+    /** Coefficients, one per predictor column. */
+    std::vector<double> coeffs;
+    /** Intercept term (0 when fitIntercept was false). */
+    double intercept = 0.0;
+    /** Coefficient of determination on the training data. */
+    double r2 = 0.0;
+    /** Per-sample residuals (real - predicted). */
+    std::vector<double> residuals;
+
+    /** Evaluate the fitted model on one sample. */
+    double predict(const std::vector<double> &x) const;
+};
+
+/** Options controlling a fit. */
+struct RegressionOptions
+{
+    /** Estimate an intercept term. */
+    bool fitIntercept = true;
+    /**
+     * Clamp negative coefficients to zero and refit the remaining
+     * columns (simple active-set NNLS). Used for power weights.
+     */
+    bool nonNegative = false;
+    /** Ridge strength added to the normal-equation diagonal. */
+    double ridge = 1e-9;
+};
+
+/**
+ * Fit y ~ X. @p x is row-major: x[i] is sample i's predictor vector,
+ * all rows the same length. Requires at least one sample; degenerate
+ * (all-zero) columns receive a zero coefficient.
+ */
+RegressionResult fitLeastSquares(
+    const std::vector<std::vector<double>> &x,
+    const std::vector<double> &y,
+    const RegressionOptions &opts = RegressionOptions());
+
+/**
+ * Solve the dense linear system a*x = b via Gaussian elimination with
+ * partial pivoting. @p a is row-major n*n, @p b has n entries.
+ * Returns an empty vector when the system is singular.
+ */
+std::vector<double> solveLinearSystem(std::vector<double> a,
+                                      std::vector<double> b,
+                                      size_t n);
+
+} // namespace mprobe
+
+#endif // UTIL_REGRESSION_HH

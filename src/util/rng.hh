@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * All stochastic choices in the framework (random micro-benchmarks,
+ * random initial data, GA mutation, sensor noise) flow through Rng so
+ * that every experiment is reproducible from a seed.
+ */
+
+#ifndef UTIL_RNG_HH
+#define UTIL_RNG_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace mprobe
+{
+
+/**
+ * Small, fast, deterministic PRNG (xoshiro256**).
+ *
+ * Not cryptographic; chosen for speed and reproducibility across
+ * platforms (unlike std::mt19937 distributions, whose outputs are not
+ * specified identically across standard library implementations, all
+ * derived draws here are implemented explicitly).
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit draw. */
+    uint64_t next();
+
+    /** Uniform integer in [0, bound), bound > 0. */
+    uint64_t below(uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t range(int64_t lo, int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Standard normal draw (Box-Muller). */
+    double gaussian();
+
+    /** Gaussian with the given mean and standard deviation. */
+    double gaussian(double mean, double sigma);
+
+    /** Bernoulli draw with probability p of true. */
+    bool chance(double p);
+
+    /** Pick a uniformly random element index of a container size. */
+    size_t pick(size_t size);
+
+    /** Fisher-Yates shuffle of a vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        if (v.empty())
+            return;
+        for (size_t i = v.size() - 1; i > 0; --i) {
+            size_t j = below(i + 1);
+            std::swap(v[i], v[j]);
+        }
+    }
+
+    /** Derive an independent child generator (for parallel streams). */
+    Rng fork();
+
+  private:
+    uint64_t s[4];
+
+    static uint64_t splitmix(uint64_t &x);
+};
+
+} // namespace mprobe
+
+#endif // UTIL_RNG_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Descriptive statistics implementations.
+ */
+
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace mprobe
+{
+
+double
+mean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : v)
+        s += x;
+    return s / static_cast<double>(v.size());
+}
+
+double
+stddev(const std::vector<double> &v)
+{
+    if (v.size() < 2)
+        return 0.0;
+    double m = mean(v);
+    double s = 0.0;
+    for (double x : v)
+        s += (x - m) * (x - m);
+    return std::sqrt(s / static_cast<double>(v.size()));
+}
+
+double
+minOf(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    return *std::min_element(v.begin(), v.end());
+}
+
+double
+maxOf(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    return *std::max_element(v.begin(), v.end());
+}
+
+double
+pctAbsError(double predicted, double real)
+{
+    double denom = std::max(std::abs(real), 1e-12);
+    return std::abs(predicted - real) / denom * 100.0;
+}
+
+double
+paae(const std::vector<double> &predicted,
+     const std::vector<double> &real)
+{
+    if (predicted.size() != real.size())
+        panic(cat("paae: size mismatch ", predicted.size(), " vs ",
+                  real.size()));
+    if (predicted.empty())
+        return 0.0;
+    double s = 0.0;
+    for (size_t i = 0; i < predicted.size(); ++i)
+        s += pctAbsError(predicted[i], real[i]);
+    return s / static_cast<double>(predicted.size());
+}
+
+} // namespace mprobe

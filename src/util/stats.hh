@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Descriptive statistics helpers shared by models and benches.
+ */
+
+#ifndef UTIL_STATS_HH
+#define UTIL_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace mprobe
+{
+
+/** Arithmetic mean; 0 for an empty vector. */
+double mean(const std::vector<double> &v);
+
+/** Population standard deviation; 0 for fewer than 2 samples. */
+double stddev(const std::vector<double> &v);
+
+/** Minimum; 0 for an empty vector. */
+double minOf(const std::vector<double> &v);
+
+/** Maximum; 0 for an empty vector. */
+double maxOf(const std::vector<double> &v);
+
+/**
+ * Percentage absolute error of one prediction: |pred-real|/real*100.
+ * The denominator is clamped away from zero.
+ */
+double pctAbsError(double predicted, double real);
+
+/**
+ * Percentage Average Absolute Prediction Error (PAAE), the accuracy
+ * metric used throughout the paper's evaluation: the mean of
+ * per-sample percentage absolute errors.
+ */
+double paae(const std::vector<double> &predicted,
+            const std::vector<double> &real);
+
+} // namespace mprobe
+
+#endif // UTIL_STATS_HH

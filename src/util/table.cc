@@ -1,0 +1,92 @@
+/**
+ * @file
+ * TextTable implementation.
+ */
+
+#include "util/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace mprobe
+{
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : head(std::move(headers))
+{
+    if (head.empty())
+        panic("TextTable: no columns");
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    if (row.size() != head.size())
+        panic(cat("TextTable: row with ", row.size(),
+                  " cells, expected ", head.size()));
+    body.push_back(std::move(row));
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<size_t> width(head.size());
+    for (size_t c = 0; c < head.size(); ++c)
+        width[c] = head[c].size();
+    for (const auto &row : body)
+        for (size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << (c == 0 ? "" : "  ") << std::left
+               << std::setw(static_cast<int>(width[c])) << row[c];
+        }
+        os << '\n';
+    };
+    emit(head);
+    size_t total = 0;
+    for (size_t c = 0; c < width.size(); ++c)
+        total += width[c] + (c == 0 ? 0 : 2);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : body)
+        emit(row);
+}
+
+void
+TextTable::printCsv(std::ostream &os) const
+{
+    auto quote = [](const std::string &s) {
+        if (s.find_first_of(",\"\n") == std::string::npos)
+            return s;
+        std::string q = "\"";
+        for (char c : s) {
+            if (c == '"')
+                q += '"';
+            q += c;
+        }
+        q += '"';
+        return q;
+    };
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c)
+            os << (c == 0 ? "" : ",") << quote(row[c]);
+        os << '\n';
+    };
+    emit(head);
+    for (const auto &row : body)
+        emit(row);
+}
+
+} // namespace mprobe

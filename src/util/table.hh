@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fixed-width text table and CSV writers used by the bench harnesses
+ * to print paper-style tables and figure series.
+ */
+
+#ifndef UTIL_TABLE_HH
+#define UTIL_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mprobe
+{
+
+/**
+ * Accumulates rows of strings and renders them as an aligned text
+ * table with a header rule, in the spirit of the paper's tables.
+ */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append one row; must match the header arity. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format doubles with @p precision decimals. */
+    static std::string num(double v, int precision = 2);
+
+    /** Render the table to a stream. */
+    void print(std::ostream &os) const;
+
+    /** Render the table as CSV (comma-separated, quoted as needed). */
+    void printCsv(std::ostream &os) const;
+
+    /** Number of data rows so far. */
+    size_t rows() const { return body.size(); }
+
+  private:
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> body;
+};
+
+} // namespace mprobe
+
+#endif // UTIL_TABLE_HH

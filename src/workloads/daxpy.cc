@@ -1,0 +1,81 @@
+/**
+ * @file
+ * DAXPY kernel construction.
+ *
+ * DAXPY streams are sequential (the anti-thesis of the analytical
+ * model's scattered streams), so the hardware prefetcher helps them
+ * — as it does on the real machine.
+ */
+
+#include "workloads/daxpy.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace mprobe
+{
+
+Program
+generateDaxpy(Architecture &arch, size_t footprint_bytes,
+              bool vectorized, size_t body_size)
+{
+    const Isa &isa = arch.isa();
+    Program prog;
+    prog.isa = &isa;
+    prog.name = cat(vectorized ? "daxpy-vsx-" : "daxpy-",
+                    footprint_bytes / 1024, "K");
+
+    const int line = 128;
+    size_t lines_total =
+        std::max<size_t>(2, footprint_bytes / line);
+    size_t lines_each = lines_total / 2;
+
+    // Two sequential arrays: x at 1 MB, y at 2 MB (distinct L2/L3
+    // sets, far from the analytical-model partitions).
+    MemStream xs;
+    MemStream ys;
+    for (size_t i = 0; i < lines_each; ++i) {
+        xs.lines.push_back((1u << 20) + i * line);
+        ys.lines.push_back((2u << 20) + i * line);
+    }
+    prog.streams.push_back(std::move(xs));
+    prog.streams.push_back(std::move(ys));
+
+    Isa::OpIndex ld = isa.find(vectorized ? "lxvd2x" : "lfd");
+    Isa::OpIndex fma =
+        isa.find(vectorized ? "xvmaddadp" : "fmadd");
+    Isa::OpIndex st = isa.find(vectorized ? "stxvd2x" : "stfd");
+    Isa::OpIndex add = isa.find("addi");
+    Isa::OpIndex bdnz = isa.find("bdnz");
+    if (ld < 0 || fma < 0 || st < 0 || add < 0 || bdnz < 0)
+        fatal("generateDaxpy: ISA misses a required instruction");
+
+    // Unrolled element: lfd x; lfd y; fmadd (consumes the loads);
+    // stfd y (consumes the fma); addi index.
+    size_t elems = (body_size - 1) / 5;
+    for (size_t e = 0; e < elems; ++e) {
+        prog.body.push_back({ld, 0, 0, 1.0f, 1.0f});
+        prog.body.push_back({ld, 0, 1, 1.0f, 1.0f});
+        prog.body.push_back({fma, 1, -1, 1.0f, 1.0f});
+        prog.body.push_back({st, 1, 1, 1.0f, 1.0f});
+        prog.body.push_back({add, 0, -1, 0.6f, 1.0f});
+    }
+    prog.body.push_back({bdnz, 0, -1, 1.0f, 1.0f});
+    return prog;
+}
+
+std::vector<Program>
+generateDaxpySet(Architecture &arch, size_t body_size)
+{
+    std::vector<Program> out;
+    for (size_t kb : {4, 8, 16}) {
+        out.push_back(
+            generateDaxpy(arch, kb * 1024, false, body_size));
+        out.push_back(
+            generateDaxpy(arch, kb * 1024, true, body_size));
+    }
+    return out;
+}
+
+} // namespace mprobe

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * DAXPY kernels (paper Section 6).
+ *
+ * "Various DAXPY kernels with different L1 contained memory
+ * foot-prints are also executed. This computational kernel is
+ * commonly used as a stressmark." Each kernel is the classic
+ * y[i] += a * x[i] loop: two loads, a fused multiply-add, a store
+ * and the index update, unrolled across the 4K body, walking
+ * sequential arrays whose total footprint fits in the L1.
+ */
+
+#ifndef WORKLOADS_DAXPY_HH
+#define WORKLOADS_DAXPY_HH
+
+#include <vector>
+
+#include "microprobe/arch.hh"
+#include "sim/program.hh"
+
+namespace mprobe
+{
+
+/**
+ * Build a DAXPY kernel with the given total footprint (x plus y
+ * arrays, bytes). Footprints above the L1 capacity are allowed
+ * (they spill), but the Section-6 kernels stay within it.
+ *
+ * @param vectorized use VSX vector loads/fma/stores instead of
+ *                   scalar floating point.
+ */
+Program generateDaxpy(Architecture &arch, size_t footprint_bytes,
+                      bool vectorized, size_t body_size = 4096);
+
+/** The Section-6 set: scalar and vector kernels at 4/8/16 KB. */
+std::vector<Program> generateDaxpySet(Architecture &arch,
+                                      size_t body_size = 4096);
+
+} // namespace mprobe
+
+#endif // WORKLOADS_DAXPY_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Extreme case construction.
+ */
+
+#include "workloads/extremes.hh"
+
+#include "microprobe/passes.hh"
+#include "microprobe/synthesizer.hh"
+
+namespace mprobe
+{
+
+namespace
+{
+
+Program
+buildCase(Architecture &arch, const std::string &name,
+          const std::vector<Isa::OpIndex> &cands, int dep,
+          const MemDistribution *mem, size_t body, uint64_t seed)
+{
+    Synthesizer synth(arch, seed);
+    synth.addPass<SkeletonPass>(body);
+    synth.addPass<InstructionMixPass>(cands);
+    if (mem)
+        synth.addPass<MemoryModelPass>(*mem);
+    synth.addPass<RegisterInitPass>(DataPattern::Random);
+    synth.addPass<ImmediateInitPass>(DataPattern::Random);
+    synth.add(std::make_unique<DependencyDistancePass>(
+        DependencyDistancePass::fixed(dep)));
+    return synth.synthesize(name);
+}
+
+} // namespace
+
+std::vector<ExtremeCase>
+generateExtremeCases(Architecture &arch, size_t body_size,
+                     uint64_t seed)
+{
+    const Isa &isa = arch.isa();
+    auto fxu_simple = isa.select([](const InstrDef &d) {
+        return d.cls == InstrClass::IntSimple && !d.hasImm;
+    });
+    auto vsu_fast = isa.select([](const InstrDef &d) {
+        return d.cls == InstrClass::Vector &&
+               d.name.find("div") == std::string::npos &&
+               d.name.find("sqrt") == std::string::npos;
+    });
+    auto l1_loads = isa.select([](const InstrDef &d) {
+        return d.isLoad() && !d.update && !d.algebraic;
+    });
+    auto mem_ops = isa.select([](const InstrDef &d) {
+        return d.isMemory() && !d.update && !d.algebraic;
+    });
+
+    MemDistribution all_l1{1, 0, 0, 0};
+    MemDistribution all_mem{0, 0, 0, 1};
+
+    std::vector<ExtremeCase> out;
+    // High activity: independent instructions saturate the unit.
+    out.push_back({"FXU High", buildCase(arch, "FXU-High",
+                                         fxu_simple, 0, nullptr,
+                                         body_size, seed ^ 1)});
+    // Low activity: a serial chain trickles one op at a time.
+    out.push_back({"FXU Low", buildCase(arch, "FXU-Low", fxu_simple,
+                                        1, nullptr, body_size,
+                                        seed ^ 2)});
+    out.push_back({"L1 Loads", buildCase(arch, "L1-Loads", l1_loads,
+                                         0, &all_l1, body_size,
+                                         seed ^ 3)});
+    out.push_back({"Main memory",
+                   buildCase(arch, "Main-memory", mem_ops, 4,
+                             &all_mem, body_size, seed ^ 4)});
+    out.push_back({"VSU High", buildCase(arch, "VSU-High", vsu_fast,
+                                         0, nullptr, body_size,
+                                         seed ^ 5)});
+    out.push_back({"VSU Low", buildCase(arch, "VSU-Low", vsu_fast, 1,
+                                        nullptr, body_size,
+                                        seed ^ 6)});
+    return out;
+}
+
+} // namespace mprobe

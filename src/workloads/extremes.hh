@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Extreme activity workloads (paper Section 4.1.3).
+ *
+ * "High and low integer (FXU) or vector activity (VSU), only L1
+ * loads or only memory activity" — short-period behaviours that are
+ * common inside real applications (a tight vector loop on the L1, a
+ * memcpy from DRAM) but rare as whole-program averages, which is why
+ * workload-trained top-down models mispredict them.
+ */
+
+#ifndef WORKLOADS_EXTREMES_HH
+#define WORKLOADS_EXTREMES_HH
+
+#include <string>
+#include <vector>
+
+#include "microprobe/arch.hh"
+#include "sim/program.hh"
+
+namespace mprobe
+{
+
+/** One extreme case: a name and its program. */
+struct ExtremeCase
+{
+    std::string name;
+    Program program;
+};
+
+/**
+ * Build the six extreme cases: FXU High, FXU Low, L1 Loads,
+ * Main memory, VSU High, VSU Low.
+ */
+std::vector<ExtremeCase> generateExtremeCases(Architecture &arch,
+                                              size_t body_size = 4096,
+                                              uint64_t seed =
+                                                  0xe71e8e5ull);
+
+} // namespace mprobe
+
+#endif // WORKLOADS_EXTREMES_HH

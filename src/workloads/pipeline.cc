@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Pipeline implementation.
+ */
+
+#include "workloads/pipeline.hh"
+
+#include "util/logging.hh"
+#include "workloads/spec_proxies.hh"
+
+namespace mprobe
+{
+
+std::vector<Sample>
+ModelExperiment::specAt(const ChipConfig &cfg) const
+{
+    std::vector<Sample> out;
+    for (const auto &s : spec)
+        if (s.config.cores == cfg.cores && s.config.smt == cfg.smt)
+            out.push_back(s);
+    return out;
+}
+
+ModelExperiment
+runModelPipeline(Architecture &arch, const Machine &machine,
+                 const PipelineOptions &opts)
+{
+    ModelExperiment ex;
+
+    inform("pipeline: generating the Table-2 training suite");
+    ex.suite = generateTable2Suite(arch, machine, opts.suite);
+
+    ex.idleWatts = machine.idleWatts(ChipConfig{1, 1});
+    ex.buSet.idleWatts = ex.idleWatts;
+
+    inform("pipeline: measuring the training corpus");
+    int micro_idx = 0;
+    int random_cross = 0;
+    size_t cfg_rr = 0;
+    for (const auto &gb : ex.suite) {
+        bool is_random = gb.category == BenchCategory::Random;
+        if (!is_random) {
+            // Steps 1 & 2: 1-core measurements in every SMT mode.
+            for (int smt : {1, 2, 4}) {
+                Sample s = makeSample(
+                    gb.program.name,
+                    machine.run(gb.program, ChipConfig{1, smt}));
+                if (smt == 1)
+                    ex.buSet.microSmt1.push_back(s);
+                else
+                    ex.buSet.microSmtOn.push_back(s);
+                ex.microAllConfigs.push_back(s);
+            }
+            // Cross-configuration coverage for TD_Micro.
+            if (opts.microConfigStride > 0 &&
+                micro_idx % opts.microConfigStride == 0) {
+                const ChipConfig &cfg =
+                    opts.configs[cfg_rr++ % opts.configs.size()];
+                if (cfg.cores != 1) {
+                    ex.microAllConfigs.push_back(makeSample(
+                        gb.program.name,
+                        machine.run(gb.program, cfg)));
+                }
+            }
+            ++micro_idx;
+        } else {
+            // Random set: intercept calibration at 1-1, plus a
+            // cross-configuration subset for step 3 / TD_Random.
+            Sample s11 = makeSample(
+                gb.program.name,
+                machine.run(gb.program, ChipConfig{1, 1}));
+            ex.buSet.randomSmt1.push_back(s11);
+            if (random_cross < opts.randomCrossConfig) {
+                ++random_cross;
+                for (const auto &cfg : opts.configs) {
+                    Sample s =
+                        cfg.cores == 1 && cfg.smt == 1
+                            ? s11
+                            : makeSample(gb.program.name,
+                                         machine.run(gb.program,
+                                                     cfg));
+                    ex.buSet.randomAllConfigs.push_back(s);
+                    ex.randomAllConfigs.push_back(s);
+                }
+            } else {
+                ex.randomAllConfigs.push_back(s11);
+            }
+        }
+    }
+
+    inform("pipeline: measuring the SPEC proxies");
+    auto proxies =
+        generateSpecProxies(arch, opts.bodySize, opts.seed);
+    if (opts.specCount > 0 &&
+        static_cast<size_t>(opts.specCount) < proxies.size())
+        proxies.resize(static_cast<size_t>(opts.specCount));
+    for (const auto &p : proxies)
+        for (const auto &cfg : opts.configs)
+            ex.spec.push_back(makeSample(p.name,
+                                         machine.run(p, cfg)));
+
+    inform("pipeline: training the models");
+    ex.bu = BottomUpModel::train(ex.buSet);
+    ex.tdMicro = TopDownModel::train(ex.microAllConfigs, "TD_Micro");
+    ex.tdRandom =
+        TopDownModel::train(ex.randomAllConfigs, "TD_Random");
+    ex.tdSpec = TopDownModel::train(ex.spec, "TD_SPEC");
+    return ex;
+}
+
+} // namespace mprobe

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * SPEC proxy generation.
+ */
+
+#include "workloads/spec_proxies.hh"
+
+#include "microprobe/passes.hh"
+#include "microprobe/synthesizer.hh"
+#include "util/logging.hh"
+
+namespace mprobe
+{
+
+const std::vector<SpecRecipe> &
+specRecipes()
+{
+    // Class mixes and memory profiles follow the broad published
+    // characterizations: e.g. mcf/lbm/libquantum memory-bound,
+    // povray/namd/gamess FP-compute-bound, perlbench/gcc/gobmk/sjeng
+    // branchy integer, bwaves/leslie3d/GemsFDTD vector codes with
+    // large footprints.
+    //        name        int  mul  fp   ld   st   br   l1   l2   l3   mem dLo dHi  taken
+    static const std::vector<SpecRecipe> recipes = {
+        {"perlbench", .34, .03, .01, .26, .12, .24, .92, .06, .02, .00, 2, 10, .65},
+        {"bzip2",     .36, .04, .00, .28, .12, .20, .80, .14, .05, .01, 3, 14, .60},
+        {"gcc",       .32, .03, .01, .26, .14, .24, .82, .10, .05, .03, 2, 10, .62},
+        {"bwaves",    .12, .02, .46, .30, .08, .02, .62, .18, .12, .08, 6, 22, .95},
+        {"gamess",    .20, .10, .40, .24, .03, .03, .94, .04, .02, .00, 10, 32, .92},
+        {"mcf",       .30, .02, .00, .38, .08, .22, .48, .12, .14, .26, 2,  8, .55},
+        {"milc",      .10, .02, .42, .32, .12, .02, .55, .15, .15, .15, 6, 22, .95},
+        {"zeusmp",    .14, .03, .42, .28, .11, .02, .70, .14, .10, .06, 5, 20, .93},
+        {"gromacs",   .20, .04, .42, .26, .06, .02, .90, .06, .03, .01, 8, 28, .90},
+        {"cactusADM", .10, .02, .50, .26, .10, .02, .60, .18, .12, .10, 6, 22, .96},
+        {"leslie3d",  .10, .02, .46, .30, .10, .02, .58, .18, .14, .10, 6, 22, .95},
+        {"namd",      .16, .06, .48, .24, .03, .03, .93, .05, .02, .00, 8, 30, .92},
+        {"gobmk",     .38, .03, .00, .26, .10, .23, .88, .08, .03, .01, 2,  9, .58},
+        {"dealII",    .22, .03, .30, .26, .09, .10, .85, .09, .04, .02, 4, 16, .80},
+        {"soplex",    .24, .03, .18, .32, .09, .14, .70, .14, .09, .07, 3, 14, .72},
+        {"povray",    .20, .08, .40, .26, .03, .03, .95, .03, .02, .00, 8, 30, .85},
+        {"calculix",  .16, .03, .44, .24, .09, .04, .88, .07, .04, .01, 5, 20, .90},
+        {"hmmer",     .40, .05, .00, .32, .13, .10, .93, .05, .02, .00, 4, 18, .85},
+        {"sjeng",     .38, .04, .00, .25, .10, .23, .90, .07, .02, .01, 2,  9, .58},
+        {"GemsFDTD",  .10, .02, .44, .30, .12, .02, .52, .18, .16, .14, 6, 22, .96},
+        {"libquantum",.26, .04, .04, .40, .10, .16, .40, .10, .14, .36, 4, 16, .88},
+        {"h264ref",   .28, .06, .16, .32, .10, .08, .90, .07, .02, .01, 8, 26, .80},
+        {"tonto",     .16, .03, .48, .22, .08, .03, .86, .08, .04, .02, 5, 20, .90},
+        {"lbm",       .10, .02, .36, .30, .20, .02, .42, .12, .14, .32, 6, 24, .97},
+        {"omnetpp",   .30, .02, .01, .34, .12, .21, .62, .16, .12, .10, 2, 10, .60},
+        {"astar",     .34, .03, .01, .32, .10, .20, .68, .14, .10, .08, 2, 10, .60},
+        {"sphinx3",   .18, .03, .36, .30, .09, .04, .72, .14, .09, .05, 4, 18, .88},
+        {"xalancbmk", .30, .02, .00, .34, .12, .22, .72, .14, .08, .06, 2, 10, .62},
+    };
+    return recipes;
+}
+
+Program
+generateSpecProxy(Architecture &arch, const SpecRecipe &r,
+                  size_t body_size, uint64_t seed)
+{
+    const Isa &isa = arch.isa();
+    auto by = [&](auto pred) { return isa.select(pred); };
+    auto simple_int = by([](const InstrDef &d) {
+        return d.cls == InstrClass::IntSimple;
+    });
+    auto complex_int = by([](const InstrDef &d) {
+        return d.cls == InstrClass::IntComplex &&
+               d.name.find("div") == std::string::npos;
+    });
+    auto fpvec = by([](const InstrDef &d) {
+        return (d.cls == InstrClass::Float ||
+                d.cls == InstrClass::Vector) &&
+               d.name.find("div") == std::string::npos &&
+               d.name.find("sqrt") == std::string::npos;
+    });
+    auto loads = isa.loads();
+    auto stores = isa.stores();
+
+    std::vector<Isa::OpIndex> cands;
+    std::vector<double> w;
+    auto push_group = [&](const std::vector<Isa::OpIndex> &g,
+                          double weight) {
+        if (g.empty() || weight <= 0.0)
+            return;
+        // Scientific FP codes are dominated by fused multiply-adds
+        // and wide vector loads, not by moves/logicals: weight
+        // 3-source compute and vector-data memory ops higher.
+        double total = 0.0;
+        std::vector<double> gw(g.size());
+        for (size_t i = 0; i < g.size(); ++i) {
+            const InstrDef &d = isa.at(g[i]);
+            gw[i] = d.srcs >= 3 ? 3.0 : 1.0;
+            if (d.isMemory() && d.vectorData)
+                gw[i] = 2.5;
+            total += gw[i];
+        }
+        for (size_t i = 0; i < g.size(); ++i) {
+            cands.push_back(g[i]);
+            w.push_back(weight * gw[i] / total);
+        }
+    };
+    push_group(simple_int, r.wInt);
+    push_group(complex_int, r.wMul);
+    push_group(fpvec, r.wFp);
+    push_group(loads, r.wLoad);
+    push_group(stores, r.wStore);
+
+    // Branch share is realized as a branch every 1/wBranch slots.
+    size_t branch_period =
+        r.wBranch > 0.01
+            ? static_cast<size_t>(1.0 / r.wBranch)
+            : body_size + 1;
+
+    Synthesizer synth(arch, seed);
+    synth.addPass<SkeletonPass>(body_size);
+    synth.addPass<InstructionMixPass>(cands, w);
+    synth.addPass<MemoryModelPass>(
+        MemDistribution{r.l1, r.l2, r.l3, r.mem});
+    synth.addPass<RegisterInitPass>(DataPattern::Random);
+    synth.addPass<ImmediateInitPass>(DataPattern::Random);
+    synth.add(std::make_unique<DependencyDistancePass>(
+        DependencyDistancePass::random(r.depLo, r.depHi)));
+    if (branch_period <= body_size)
+        synth.addPass<BranchModelPass>(
+            branch_period, static_cast<float>(r.branchTaken));
+    return synth.synthesize(r.name);
+}
+
+std::vector<Program>
+generateSpecProxies(Architecture &arch, size_t body_size,
+                    uint64_t seed)
+{
+    std::vector<Program> out;
+    uint64_t s = seed;
+    for (const auto &r : specRecipes()) {
+        out.push_back(generateSpecProxy(arch, r, body_size, s));
+        s = s * 6364136223846793005ull + 1442695040888963407ull;
+    }
+    return out;
+}
+
+} // namespace mprobe

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * SPEC CPU2006 proxy workloads.
+ *
+ * The paper validates its models against the 28 SPEC CPU2006
+ * benchmarks run to completion on real hardware. SPEC itself is
+ * proprietary and needs a full-system substrate, so the validation
+ * role is filled by *proxies*: per-benchmark synthetic programs
+ * generated through MicroProbe with instruction-class mixes, memory
+ * behaviour and ILP profiles modelled on the published
+ * characterizations of each benchmark (integer vs floating point,
+ * branchy vs straight-line, cache-resident vs memory-bound). Each
+ * proxy is a realistic heterogeneous workload that was *not* part of
+ * the model training sets, which is the property the validation
+ * experiments need.
+ */
+
+#ifndef WORKLOADS_SPEC_PROXIES_HH
+#define WORKLOADS_SPEC_PROXIES_HH
+
+#include <string>
+#include <vector>
+
+#include "microprobe/arch.hh"
+#include "sim/program.hh"
+
+namespace mprobe
+{
+
+/** Recipe describing one proxy's behaviour. */
+struct SpecRecipe
+{
+    std::string name;
+    /** Class weights: simple int, complex int, fp/vector scalar+simd,
+     * loads, stores, branches (normalized internally). */
+    double wInt = 0.0;
+    double wMul = 0.0;
+    double wFp = 0.0;
+    double wLoad = 0.0;
+    double wStore = 0.0;
+    double wBranch = 0.0;
+    /** Memory behaviour across L1/L2/L3/MEM. */
+    double l1 = 1.0, l2 = 0.0, l3 = 0.0, mem = 0.0;
+    /** ILP: dependency distances drawn from [depLo, depHi]. */
+    int depLo = 2, depHi = 12;
+    /** Taken rate of the inner conditional branches. */
+    double branchTaken = 0.7;
+};
+
+/** The 28 benchmark recipes (12 SPECint + 16 SPECfp). */
+const std::vector<SpecRecipe> &specRecipes();
+
+/** Generate every proxy program over @p arch. */
+std::vector<Program> generateSpecProxies(Architecture &arch,
+                                         size_t body_size = 4096,
+                                         uint64_t seed = 0x57ecull);
+
+/** Generate one proxy from its recipe. */
+Program generateSpecProxy(Architecture &arch, const SpecRecipe &r,
+                          size_t body_size, uint64_t seed);
+
+} // namespace mprobe
+
+#endif // WORKLOADS_SPEC_PROXIES_HH

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Stressmark construction and exploration.
+ */
+
+#include "workloads/stressmarks.hh"
+
+#include <algorithm>
+
+#include "microprobe/passes.hh"
+#include "microprobe/synthesizer.hh"
+#include "util/logging.hh"
+
+namespace mprobe
+{
+
+Program
+buildStressmark(Architecture &arch,
+                const std::vector<Isa::OpIndex> &seq,
+                const std::string &name, size_t body_size)
+{
+    Synthesizer synth(arch, 0x57e55ull);
+    synth.addPass<SkeletonPass>(body_size);
+    synth.addPass<SequencePass>(seq);
+    // Keep all memory accesses resident in the L1: no stalls.
+    synth.addPass<MemoryModelPass>(MemDistribution{1, 0, 0, 0});
+    synth.addPass<RegisterInitPass>(DataPattern::Random);
+    synth.addPass<ImmediateInitPass>(DataPattern::Random);
+    // No dependencies: maximum activity.
+    synth.add(std::make_unique<DependencyDistancePass>(
+        DependencyDistancePass::none()));
+    return synth.synthesize(name);
+}
+
+std::vector<Isa::OpIndex>
+expertPicks(const Architecture &arch)
+{
+    const Isa &isa = arch.isa();
+    return {isa.find("mullw"), isa.find("xvmaddadp"),
+            isa.find("lxvd2x")};
+}
+
+std::vector<Isa::OpIndex>
+microprobePicks(const Architecture &arch)
+{
+    const Isa &isa = arch.isa();
+    const UarchDef &ua = arch.uarch();
+    const char *compute_units[] = {"FXU", "LSU", "VSU", "BRU",
+                                   "CRU"};
+
+    auto category_units =
+        [&](const InstrProps &p) -> std::vector<std::string> {
+        // Category membership ignores cache levels and unit
+        // multiplicities ("2FXU" counts as FXU).
+        std::vector<std::string> units;
+        for (const auto &u : p.units) {
+            for (const char *cu : compute_units) {
+                if (u == cu || u == cat("2", cu) ||
+                    u == cat("3", cu)) {
+                    units.push_back(cu);
+                    break;
+                }
+            }
+        }
+        return units;
+    };
+
+    std::vector<Isa::OpIndex> picks;
+    for (const char *target : {"FXU", "LSU", "VSU"}) {
+        Isa::OpIndex best = -1;
+        double best_product = -1.0;
+        for (size_t i = 0; i < isa.size(); ++i) {
+            auto op = static_cast<Isa::OpIndex>(i);
+            const InstrProps &p = ua.props(isa.at(op).name);
+            if (!p.complete())
+                continue;
+            auto units = category_units(p);
+            // Exactly the target unit: its pure category.
+            if (units.size() != 1 || units[0] != target)
+                continue;
+            double product = p.throughput * p.epi;
+            if (product > best_product) {
+                best_product = product;
+                best = op;
+            }
+        }
+        if (best < 0)
+            fatal(cat("microprobePicks: no characterized "
+                      "instruction stresses only ", target,
+                      "; run the bootstrap first"));
+        picks.push_back(best);
+    }
+    return picks;
+}
+
+std::vector<Program>
+expertManualSet(Architecture &arch, size_t body_size)
+{
+    auto p = expertPicks(arch);
+    const Isa::OpIndex mul = p[0];
+    const Isa::OpIndex fma = p[1];
+    const Isa::OpIndex ld = p[2];
+
+    // What a practiced stressmark writer reasons about: each unit
+    // has (at least) two pipes, so issue its instruction in
+    // back-to-back pairs to keep both pipes busy, rotating over the
+    // units. Pair-granular orderings look optimal on paper; the
+    // DSE later shows finer interleavings draw more power — the
+    // non-obvious gap the paper reports between hand-crafted and
+    // explored stressmarks.
+    const std::vector<std::vector<Isa::OpIndex>> seqs = {
+        {mul, mul, fma, fma, ld, ld},
+        {fma, fma, ld, ld, mul, mul},
+        {ld, ld, mul, mul, fma, fma},
+        {mul, mul, ld, ld, fma, fma},
+        {fma, fma, mul, mul, ld, ld},
+        {ld, ld, fma, fma, mul, mul},
+    };
+    std::vector<Program> out;
+    int i = 0;
+    for (const auto &s : seqs)
+        out.push_back(buildStressmark(
+            arch, s, cat("expert-manual-", i++), body_size));
+    return out;
+}
+
+StressmarkExploration
+exploreSequences(Architecture &arch, const Machine &machine,
+                 const std::vector<Isa::OpIndex> &triple,
+                 const ChipConfig &config, size_t seq_len,
+                 size_t body_size)
+{
+    if (triple.size() < 2)
+        fatal("exploreSequences: need at least 2 candidates");
+    for (auto op : triple)
+        if (op < 0)
+            fatal("exploreSequences: invalid candidate opcode");
+
+    std::vector<ParamDomain> space(
+        seq_len,
+        ParamDomain{"slot", 0,
+                    static_cast<int>(triple.size()) - 1});
+
+    // Admissible = the sequence exercises every candidate at least
+    // once (the paper's 540-point space for 6 slots over 3).
+    auto filter = [&](const DesignPoint &pt) {
+        for (size_t c = 0; c < triple.size(); ++c)
+            if (std::find(pt.begin(), pt.end(),
+                          static_cast<int>(c)) == pt.end())
+                return false;
+        return true;
+    };
+
+    int idx = 0;
+    std::vector<double> ipcs;
+    auto eval = [&](const DesignPoint &pt) {
+        std::vector<Isa::OpIndex> seq;
+        seq.reserve(seq_len);
+        for (int g : pt)
+            seq.push_back(triple[static_cast<size_t>(g)]);
+        Program prog = buildStressmark(
+            arch, seq, cat("stress-", config.label(), "-", idx++),
+            body_size);
+        RunResult r = machine.run(prog, config);
+        ipcs.push_back(r.coreIpc);
+        return r.sensorWatts;
+    };
+
+    ExhaustiveSearch search(filter);
+    Evaluated best = search.search(space, eval);
+
+    StressmarkExploration out;
+    out.powers = search.fitnessValues();
+    out.ipcs = std::move(ipcs);
+    out.bestPower = best.fitness;
+    out.evaluations = search.history().size();
+    for (int g : best.point)
+        out.bestSeq.push_back(triple[static_cast<size_t>(g)]);
+    return out;
+}
+
+} // namespace mprobe

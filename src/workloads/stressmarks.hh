@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Max-power stressmark generation (paper Section 6).
+ *
+ * Three candidate sets are compared against the SPEC maximum power:
+ *
+ *  - "Expert manual": hand-crafted interleavings of the instructions
+ *    an expert would pick (mullw, xvmaddadp, lxvd2x — wide datapath,
+ *    high throughput, one per unit);
+ *  - "Expert DSE": the exhaustive exploration of every sequence of 6
+ *    instructions over those three candidates that uses all of them
+ *    — the paper's 540 combinations;
+ *  - "MicroProbe": the same exploration, but over the instructions
+ *    MicroProbe itself selects as having the highest IPC*EPI product
+ *    within each functional-unit category, using the bootstrapped
+ *    EPI/IPC/unit information (no expert required).
+ *
+ * Every stressmark is an endless 4K loop of the replicated sequence
+ * with no dependencies and L1-resident memory accesses, deployed on
+ * every hardware thread.
+ */
+
+#ifndef WORKLOADS_STRESSMARKS_HH
+#define WORKLOADS_STRESSMARKS_HH
+
+#include <string>
+#include <vector>
+
+#include "microprobe/arch.hh"
+#include "microprobe/dse.hh"
+#include "sim/machine.hh"
+
+namespace mprobe
+{
+
+/** Build one stressmark: @p seq replicated across a 4K loop. */
+Program buildStressmark(Architecture &arch,
+                        const std::vector<Isa::OpIndex> &seq,
+                        const std::string &name,
+                        size_t body_size = 4096);
+
+/** The expert's three candidate instructions. */
+std::vector<Isa::OpIndex> expertPicks(const Architecture &arch);
+
+/**
+ * MicroProbe's three candidates: the instruction with the highest
+ * throughput*EPI product among those stressing exactly {FXU},
+ * exactly {LSU} and exactly {VSU} (cache levels ignored for
+ * category membership), from the bootstrapped properties.
+ */
+std::vector<Isa::OpIndex> microprobePicks(const Architecture &arch);
+
+/** A small set of hand-crafted orderings over the expert picks. */
+std::vector<Program> expertManualSet(Architecture &arch,
+                                     size_t body_size = 4096);
+
+/** Result of exploring one candidate triple exhaustively. */
+struct StressmarkExploration
+{
+    /** Power of every admissible sequence (watts), one SMT mode. */
+    std::vector<double> powers;
+    /** Core IPC of every admissible sequence (parallel to powers);
+     * the paper analyses the power spread among the sequences that
+     * reach the maximum IPC — same mix, same activity, different
+     * order. */
+    std::vector<double> ipcs;
+    /** Best sequence found. */
+    std::vector<Isa::OpIndex> bestSeq;
+    double bestPower = 0.0;
+    /** Evaluations performed. */
+    size_t evaluations = 0;
+};
+
+/**
+ * Exhaustively explore all sequences of @p seq_len over @p triple
+ * that contain every candidate at least once (540 points for
+ * seq_len 6 over 3 candidates), measuring power on @p config.
+ */
+StressmarkExploration
+exploreSequences(Architecture &arch, const Machine &machine,
+                 const std::vector<Isa::OpIndex> &triple,
+                 const ChipConfig &config, size_t seq_len = 6,
+                 size_t body_size = 4096);
+
+} // namespace mprobe
+
+#endif // WORKLOADS_STRESSMARKS_HH

@@ -1,0 +1,544 @@
+/**
+ * @file
+ * Table-2 suite generation.
+ */
+
+#include "workloads/suite.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "microprobe/dse.hh"
+#include "microprobe/passes.hh"
+#include "microprobe/synthesizer.hh"
+#include "util/logging.hh"
+
+namespace mprobe
+{
+
+const char *
+benchCategoryName(BenchCategory c)
+{
+    switch (c) {
+      case BenchCategory::SimpleInteger:  return "Simple Integer";
+      case BenchCategory::ComplexInteger: return "Complex Integer";
+      case BenchCategory::Integer:        return "Integer";
+      case BenchCategory::FloatVector:    return "Float/Vector";
+      case BenchCategory::UnitMix:        return "Unit Mix";
+      case BenchCategory::MemoryGroup:    return "Memory group";
+      case BenchCategory::Random:         return "Random";
+    }
+    panic("benchCategoryName: bad category");
+}
+
+namespace
+{
+
+/** Bootstrapped latency with a class-based fallback. */
+double
+knownLatency(const Architecture &arch, Isa::OpIndex op)
+{
+    const InstrDef &d = arch.isa().at(op);
+    const InstrProps &p = arch.uarch().props(d.name);
+    if (p.latency > 0)
+        return p.latency;
+    // ISA-only fallback guesses by class.
+    switch (d.cls) {
+      case InstrClass::IntSimple:  return 1.0;
+      case InstrClass::IntComplex: return 4.0;
+      case InstrClass::Load:       return 2.0;
+      case InstrClass::Store:      return 1.0;
+      case InstrClass::Float:
+      case InstrClass::Vector:     return 6.0;
+      case InstrClass::Decimal:    return 15.0;
+      default:                     return 1.0;
+    }
+}
+
+double
+avgLatency(const Architecture &arch,
+           const std::vector<Isa::OpIndex> &ops)
+{
+    if (ops.empty())
+        return 1.0;
+    double s = 0.0;
+    for (auto op : ops)
+        s += knownLatency(arch, op);
+    return s / static_cast<double>(ops.size());
+}
+
+/** Build the (d, slow%)-parameterized mix benchmark. */
+Program
+buildMixBench(Architecture &arch,
+              const std::vector<Isa::OpIndex> &fast,
+              const std::vector<Isa::OpIndex> &slow, int dep,
+              int slow_pct, size_t body, const std::string &name,
+              uint64_t seed)
+{
+    std::vector<Isa::OpIndex> cands;
+    std::vector<double> weights;
+    double q = slow_pct / 100.0;
+    for (auto op : fast) {
+        cands.push_back(op);
+        weights.push_back((1.0 - q) /
+                          static_cast<double>(fast.size()));
+    }
+    if (!slow.empty() && q > 0.0) {
+        for (auto op : slow) {
+            cands.push_back(op);
+            weights.push_back(q / static_cast<double>(slow.size()));
+        }
+    }
+    Synthesizer synth(arch, seed);
+    synth.addPass<SkeletonPass>(body);
+    synth.addPass<InstructionMixPass>(cands, weights);
+    synth.addPass<RegisterInitPass>(DataPattern::Random);
+    synth.addPass<ImmediateInitPass>(DataPattern::Random);
+    synth.add(std::make_unique<DependencyDistancePass>(
+        DependencyDistancePass::fixed(dep)));
+    return synth.synthesize(name);
+}
+
+} // namespace
+
+GeneratedBench
+generateIpcTargeted(Architecture &arch, const Machine &machine,
+                    const std::vector<Isa::OpIndex> &fast,
+                    const std::vector<Isa::OpIndex> &slow,
+                    double target_ipc, const std::string &name,
+                    const SuiteOptions &opts)
+{
+    if (fast.empty())
+        fatal(cat("generateIpcTargeted(", name,
+                  "): empty fast candidate set"));
+    const double lat_f = avgLatency(arch, fast);
+    const double lat_s = slow.empty() ? lat_f : avgLatency(arch, slow);
+
+    // Analytical first guess from the bootstrapped latencies: with
+    // dependency distance d the body forms d interleaved chains, so
+    // IPC ~ d / avg-latency until the pipes saturate.
+    auto analytic = [&](double t) {
+        int best_d = 1;
+        int best_q = 0;
+        double best_err = 1e300;
+        for (int d = 1; d <= 48; ++d) {
+            double want_lat = d / t;
+            double q = lat_s > lat_f + 1e-9
+                           ? (want_lat - lat_f) / (lat_s - lat_f)
+                           : 0.0;
+            q = std::clamp(q, 0.0, 1.0);
+            double got =
+                d / (lat_f * (1.0 - q) + lat_s * q);
+            double err = std::abs(got - t);
+            if (err < best_err) {
+                best_err = err;
+                best_d = d;
+                best_q = static_cast<int>(std::lround(q * 100.0));
+            }
+        }
+        return DesignPoint{best_d, best_q};
+    };
+
+    std::vector<ParamDomain> space = {
+        {"dep-distance", 1, 48},
+        {"slow-percent", 0, 100},
+    };
+
+    int iteration = 0;
+    int builds = 0;
+    Program best_prog;
+    double best_err = 1e300;
+    double best_ipc = 0.0;
+    double last_ipc = 0.0;
+
+    auto propose = [&](const std::vector<Evaluated> &hist,
+                       DesignPoint &p) -> bool {
+        if (iteration++ >= opts.ipcSearchBudget)
+            return false;
+        if (hist.empty()) {
+            p = analytic(target_ipc);
+            return true;
+        }
+        // Stop early once close enough.
+        if (best_err < 0.03)
+            return false;
+        // Measured effective latency per chain step steers the next
+        // candidate (micro-architecture-guided refinement).
+        DesignPoint last = hist.back().point;
+        double achieved = std::max(last_ipc, 0.05);
+        double eff_lat = last[0] / achieved;
+        int d2 = std::clamp(static_cast<int>(std::lround(
+                                target_ipc * eff_lat)),
+                            1, 48);
+        int q_delta = achieved > target_ipc ? 12 : -12;
+        int d_delta = achieved > target_ipc ? -1 : 1;
+        // Try the derived point first, then nearby alternatives,
+        // skipping anything already evaluated.
+        const DesignPoint candidates[] = {
+            {d2, last[1]},
+            {last[0], std::clamp(last[1] + q_delta, 0, 100)},
+            {std::clamp(last[0] + d_delta, 1, 48), last[1]},
+            {d2, std::clamp(last[1] + q_delta, 0, 100)},
+            {std::clamp(d2 + d_delta, 1, 48), last[1]},
+        };
+        for (const auto &cand : candidates) {
+            bool seen = false;
+            for (const auto &h : hist)
+                seen |= h.point == cand;
+            if (!seen) {
+                p = cand;
+                return true;
+            }
+        }
+        return false;
+    };
+
+    auto eval = [&](const DesignPoint &p) {
+        Program prog = buildMixBench(
+            arch, fast, slow, p[0], p[1], opts.bodySize,
+            cat(name, "#try", builds++), opts.seed);
+        RunResult r = machine.run(prog, ChipConfig{1, 1});
+        last_ipc = r.coreIpc;
+        double err = std::abs(r.coreIpc - target_ipc);
+        if (err < best_err) {
+            best_err = err;
+            best_prog = std::move(prog);
+            best_prog.name = name;
+            best_ipc = r.coreIpc;
+        }
+        return -err;
+    };
+
+    UserGuidedSearch search(propose);
+    search.search(space, eval);
+
+    GeneratedBench gb;
+    gb.program = std::move(best_prog);
+    gb.targetIpc = target_ipc;
+    gb.achievedIpc = best_ipc;
+    return gb;
+}
+
+namespace
+{
+
+/** Category candidate sets (ISA + bootstrapped-uarch queries). */
+struct CandidateSets
+{
+    std::vector<Isa::OpIndex> simpleInt;
+    std::vector<Isa::OpIndex> simpleIntSlow; //!< record/compare forms
+    std::vector<Isa::OpIndex> complexMul;
+    std::vector<Isa::OpIndex> complexDiv;
+    std::vector<Isa::OpIndex> fpVec;
+    std::vector<Isa::OpIndex> fpVecSlow;     //!< divides/sqrt
+    std::vector<Isa::OpIndex> loads;
+    std::vector<Isa::OpIndex> loadsStores;
+};
+
+CandidateSets
+collectCandidates(const Architecture &arch)
+{
+    const Isa &isa = arch.isa();
+    CandidateSets cs;
+    for (size_t i = 0; i < isa.size(); ++i) {
+        auto op = static_cast<Isa::OpIndex>(i);
+        const InstrDef &d = isa.at(op);
+        if (d.privileged)
+            continue;
+        bool slow_name =
+            d.name.find("div") != std::string::npos ||
+            (d.name.find("sqrt") != std::string::npos &&
+             d.name.find("tsqrt") == std::string::npos);
+        switch (d.cls) {
+          case InstrClass::IntSimple:
+            if (!d.name.empty() &&
+                (d.name.back() == '.' ||
+                 d.name.rfind("cmp", 0) == 0 || d.name == "isel"))
+                cs.simpleIntSlow.push_back(op);
+            else
+                cs.simpleInt.push_back(op);
+            break;
+          case InstrClass::IntComplex:
+            if (slow_name)
+                cs.complexDiv.push_back(op);
+            else
+                cs.complexMul.push_back(op);
+            break;
+          case InstrClass::Float:
+          case InstrClass::Vector:
+            if (slow_name)
+                cs.fpVecSlow.push_back(op);
+            else
+                cs.fpVec.push_back(op);
+            break;
+          case InstrClass::Load:
+            cs.loads.push_back(op);
+            cs.loadsStores.push_back(op);
+            break;
+          case InstrClass::Store:
+            cs.loadsStores.push_back(op);
+            break;
+          default:
+            break;
+        }
+    }
+    return cs;
+}
+
+/** One memory-group benchmark. */
+Program
+buildMemoryBench(Architecture &arch,
+                 const std::vector<Isa::OpIndex> &cands,
+                 const MemDistribution &dist, size_t body,
+                 const std::string &name, uint64_t seed)
+{
+    Rng rng(seed);
+    // Random per-variant weights over the candidates ("random mix").
+    std::vector<double> w(cands.size());
+    for (auto &x : w)
+        x = 0.2 + rng.uniform();
+    Synthesizer synth(arch, seed);
+    synth.addPass<SkeletonPass>(body);
+    synth.addPass<InstructionMixPass>(cands, w);
+    synth.addPass<MemoryModelPass>(dist);
+    synth.addPass<RegisterInitPass>(DataPattern::Random);
+    synth.addPass<ImmediateInitPass>(DataPattern::Random);
+    synth.add(std::make_unique<DependencyDistancePass>(
+        DependencyDistancePass::random(4, 16)));
+    return synth.synthesize(name);
+}
+
+} // namespace
+
+std::vector<GeneratedBench>
+generateTable2Suite(Architecture &arch, const Machine &machine,
+                    const SuiteOptions &opts)
+{
+    std::vector<GeneratedBench> out;
+    CandidateSets cs = collectCandidates(arch);
+    Rng rng(opts.seed);
+
+    auto fmt_ipc = [](double v) {
+        char buf[16];
+        std::snprintf(buf, sizeof buf, "%.1f", v);
+        return std::string(buf);
+    };
+
+    auto targeted = [&](BenchCategory category,
+                        const std::string &prefix,
+                        const std::vector<Isa::OpIndex> &fast,
+                        const std::vector<Isa::OpIndex> &slow,
+                        double ipc, const char *units) {
+        GeneratedBench gb = generateIpcTargeted(
+            arch, machine, fast, slow, ipc,
+            cat(prefix, "-ipc", fmt_ipc(ipc)), opts);
+        gb.category = category;
+        gb.unitsStressed = units;
+        out.push_back(std::move(gb));
+    };
+
+    // Simple Integer: 35 benchmarks, IPC 0.5..3.9.
+    for (int i = 0; i < 35; ++i)
+        targeted(BenchCategory::SimpleInteger, "simpleint",
+                 cs.simpleInt, cs.simpleIntSlow, 0.5 + 0.1 * i,
+                 "FXU or LSU");
+    // Complex Integer: 11 benchmarks, IPC 0.1..1.1.
+    for (int i = 0; i < 11; ++i)
+        targeted(BenchCategory::ComplexInteger, "complexint",
+                 cs.complexMul, cs.complexDiv, 0.1 + 0.1 * i, "FXU");
+    // Integer: 12 benchmarks, IPC 0.1..1.2.
+    for (int i = 0; i < 12; ++i)
+        targeted(BenchCategory::Integer, "integer", cs.simpleInt,
+                 cs.complexDiv, 0.1 + 0.1 * i, "FXU, LSU");
+    // Float/Vector: 14 benchmarks, IPC 0.1..1.4.
+    for (int i = 0; i < 14; ++i)
+        targeted(BenchCategory::FloatVector, "floatvector",
+                 cs.fpVec, cs.fpVecSlow, 0.1 + 0.1 * i, "VSU");
+
+    // Unit Mix: 20 benchmarks, IPC 0.1..2.0, searched with the GA
+    // driver over (dep distance, class weights).
+    std::vector<std::vector<Isa::OpIndex>> mix_groups = {
+        cs.simpleInt, cs.complexMul, cs.fpVec, cs.fpVecSlow,
+        cs.complexDiv};
+    int unit_mix_count = opts.extendUnitMix ? 30 : 20;
+    for (int i = 0; i < unit_mix_count; ++i) {
+        // 0.1..2.0 in 0.1 steps (the paper's range), then 2.2..4.0
+        // in 0.2 steps when the extended sweep is enabled.
+        double target =
+            i < 20 ? 0.1 + 0.1 * i : 2.0 + 0.2 * (i - 19);
+        std::vector<ParamDomain> space = {
+            {"dep-distance", 1, 48}, {"w-simple", 0, 10},
+            {"w-mul", 0, 10},        {"w-fpvec", 0, 10},
+            {"w-fpdiv", 0, 10},      {"w-intdiv", 0, 10},
+        };
+        int builds = 0;
+        Program best_prog;
+        double best_err = 1e300;
+        double best_ipc = 0.0;
+        auto eval = [&](const DesignPoint &p) {
+            std::vector<Isa::OpIndex> cands;
+            std::vector<double> w;
+            for (size_t g = 0; g < mix_groups.size(); ++g) {
+                double wg = p[g + 1];
+                if (wg <= 0.0 || mix_groups[g].empty())
+                    continue;
+                for (auto op : mix_groups[g]) {
+                    cands.push_back(op);
+                    w.push_back(
+                        wg /
+                        static_cast<double>(mix_groups[g].size()));
+                }
+            }
+            if (cands.empty())
+                return -1e3;
+            Synthesizer synth(arch, opts.seed ^ (0xabcu + i));
+            synth.addPass<SkeletonPass>(opts.bodySize);
+            synth.addPass<InstructionMixPass>(cands, w);
+            synth.addPass<RegisterInitPass>(DataPattern::Random);
+            synth.addPass<ImmediateInitPass>(DataPattern::Random);
+            synth.add(std::make_unique<DependencyDistancePass>(
+                DependencyDistancePass::fixed(p[0])));
+            Program prog = synth.synthesize(
+                cat("unitmix-ipc", fmt_ipc(target), "#", builds++));
+            RunResult r = machine.run(prog, ChipConfig{1, 1});
+            double err = std::abs(r.coreIpc - target);
+            if (err < best_err) {
+                best_err = err;
+                best_prog = std::move(prog);
+                best_prog.name = cat("unitmix-ipc", fmt_ipc(target));
+                best_ipc = r.coreIpc;
+            }
+            return -err;
+        };
+        GaOptions ga;
+        ga.population = opts.gaPopulation;
+        ga.generations = opts.gaGenerations;
+        ga.seed = opts.seed ^ (0x6a0ull + i);
+        GeneticSearch search(ga);
+        search.search(space, eval);
+        GeneratedBench gb;
+        gb.program = std::move(best_prog);
+        gb.category = BenchCategory::UnitMix;
+        gb.targetIpc = target;
+        gb.achievedIpc = best_ipc;
+        gb.unitsStressed = "VSU, FXU, LSU";
+        out.push_back(std::move(gb));
+    }
+
+    // Memory groups (Table 2's 14 distribution rows).
+    struct MemGroup
+    {
+        const char *name;
+        MemDistribution dist;
+        bool loads_only;
+        const char *units;
+    };
+    const MemGroup groups[] = {
+        {"L1ld", {1.00, 0.00, 0.00, 0}, true, "LSU, L1"},
+        {"L1ldst", {1.00, 0.00, 0.00, 0}, false, "LSU, L1, L2"},
+        {"L1L2a", {0.75, 0.25, 0.00, 0}, false, "LSU, L1, L2"},
+        {"L1L2b", {0.50, 0.50, 0.00, 0}, false, "LSU, L1, L2"},
+        {"L1L2c", {0.25, 0.75, 0.00, 0}, false, "LSU, L1, L2"},
+        {"L1L3a", {0.75, 0.00, 0.25, 0}, false, "LSU, L1, L2, L3"},
+        {"L1L3b", {0.50, 0.00, 0.50, 0}, false, "LSU, L1, L2, L3"},
+        {"L1L3c", {0.25, 0.00, 0.75, 0}, false, "LSU, L1, L2, L3"},
+        {"L2", {0.00, 1.00, 0.00, 0}, false, "LSU, L1, L2"},
+        {"L2L3a", {0.00, 0.75, 0.25, 0}, false, "LSU, L1, L2, L3"},
+        {"L2L3b", {0.00, 0.50, 0.50, 0}, false, "LSU, L1, L2, L3"},
+        {"L2L3c", {0.00, 0.25, 0.75, 0}, false, "LSU, L1, L2, L3"},
+        {"L3", {0.00, 0.00, 1.00, 0}, false, "LSU, L1, L2, L3"},
+        {"Caches", {0.33, 0.33, 0.34, 0}, false, "LSU, L1, L2, L3"},
+    };
+    for (const auto &g : groups) {
+        for (int v = 0; v < opts.perMemoryGroup; ++v) {
+            GeneratedBench gb;
+            gb.program = buildMemoryBench(
+                arch, g.loads_only ? cs.loads : cs.loadsStores,
+                g.dist, opts.bodySize, cat(g.name, "-", v),
+                opts.seed ^ rng.next());
+            gb.category = BenchCategory::MemoryGroup;
+            gb.group = g.name;
+            gb.unitsStressed = g.units;
+            out.push_back(std::move(gb));
+        }
+    }
+    // Memory: misses in every level.
+    for (int v = 0; v < opts.memoryCount; ++v) {
+        GeneratedBench gb;
+        gb.program = buildMemoryBench(
+            arch, cs.loadsStores, MemDistribution{0, 0, 0, 1},
+            opts.bodySize, cat("Memory-", v),
+            opts.seed ^ rng.next());
+        gb.category = BenchCategory::MemoryGroup;
+        gb.group = "Memory";
+        gb.unitsStressed = "LSU, L1, L2, L3, MEM";
+        out.push_back(std::move(gb));
+    }
+
+    // Random micro-benchmarks. Branches are included — and
+    // over-represented relative to their opcode count — because the
+    // random set also calibrates the model intercept, which must
+    // absorb activity (branch/CR power, speculation) that the unit
+    // counters do not cover; real workloads are up to ~25% branches.
+    std::vector<Isa::OpIndex> pool;
+    for (size_t i = 0; i < arch.isa().size(); ++i) {
+        const InstrDef &d = arch.isa().at(
+            static_cast<Isa::OpIndex>(i));
+        if (d.privileged)
+            continue;
+        int copies = d.isBranch() ? 8 : 1;
+        for (int c = 0; c < copies; ++c)
+            pool.push_back(static_cast<Isa::OpIndex>(i));
+    }
+    for (int v = 0; v < opts.randomCount; ++v) {
+        uint64_t s = opts.seed ^ rng.next();
+        Rng vr(s);
+        size_t k = 5 + vr.pick(14);
+        std::vector<Isa::OpIndex> cands;
+        for (size_t j = 0; j < k; ++j)
+            cands.push_back(pool[vr.pick(pool.size())]);
+        std::vector<double> w(cands.size());
+        for (auto &x : w)
+            x = 0.1 + vr.uniform();
+        MemDistribution dist;
+        double l1 = 0.4 + 0.6 * vr.uniform();
+        double rest = 1.0 - l1;
+        double l2 = rest * vr.uniform();
+        double l3 = (rest - l2) * vr.uniform();
+        dist = {l1, l2, l3, rest - l2 - l3};
+        DataPattern pats[] = {DataPattern::Zero, DataPattern::Alt01,
+                              DataPattern::Random};
+        DataPattern pat = pats[vr.pick(3)];
+
+        Synthesizer synth(arch, s);
+        synth.addPass<SkeletonPass>(opts.bodySize);
+        synth.addPass<InstructionMixPass>(cands, w);
+        synth.addPass<MemoryModelPass>(dist);
+        synth.addPass<RegisterInitPass>(pat);
+        synth.addPass<ImmediateInitPass>(pat);
+        synth.add(std::make_unique<DependencyDistancePass>(
+            DependencyDistancePass::random(
+                1, 4 + static_cast<int>(vr.pick(28)))));
+        GeneratedBench gb;
+        gb.program = synth.synthesize(cat("random-", v));
+        // Conditional branches take random taken-rates so the
+        // random set spans speculation behaviours too.
+        for (auto &pi : gb.program.body) {
+            const InstrDef &d = arch.isa().at(pi.op);
+            if (d.isBranch() && d.conditional)
+                pi.takenRate = static_cast<float>(
+                    0.55 + 0.45 * vr.uniform());
+        }
+        gb.program.body.back().takenRate = 1.0f;
+        gb.category = BenchCategory::Random;
+        gb.unitsStressed = "Unknown";
+        out.push_back(std::move(gb));
+    }
+
+    inform(cat("generated Table-2 suite: ", out.size(),
+               " micro-benchmarks"));
+    return out;
+}
+
+} // namespace mprobe

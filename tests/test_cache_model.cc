@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Tests for the analytical set-associative cache model: the static
+ * hit-level guarantees must hold on the simulated hierarchy — this
+ * is the core property behind paper Figure 3 / Section 2.1.3.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "microprobe/cache_model.hh"
+#include "uarch/uarch.hh"
+
+using namespace mprobe;
+
+namespace
+{
+
+AnalyticalCacheModel
+model()
+{
+    UarchDef u = builtinP7Uarch();
+    return AnalyticalCacheModel(u);
+}
+
+/** Run a stream round-robin to steady state and report the level
+ * every access is served from (asserting they all agree). */
+HitLevel
+steadyStateLevel(const MemStream &s, CacheHierarchy &h)
+{
+    for (int warm = 0; warm < 4; ++warm)
+        for (uint64_t a : s.lines)
+            h.access(a);
+    HitLevel lvl = h.access(s.lines[0]);
+    for (size_t i = 1; i < s.lines.size(); ++i)
+        EXPECT_EQ(h.access(s.lines[i]), lvl);
+    for (int it = 0; it < 3; ++it)
+        for (uint64_t a : s.lines)
+            EXPECT_EQ(h.access(a), lvl);
+    return lvl;
+}
+
+} // namespace
+
+TEST(CacheModel, SetFieldsMatchFigure3b)
+{
+    auto m = model();
+    // 128 B lines: offset bits 0-6; 32/256/4096 sets.
+    EXPECT_EQ(m.setField(0), std::make_pair(7, 5));
+    EXPECT_EQ(m.setField(1), std::make_pair(7, 8));
+    EXPECT_EQ(m.setField(2), std::make_pair(7, 12));
+    EXPECT_EQ(m.tagShift(), 19);
+}
+
+TEST(CacheModel, LineCountsFollowAssociativity)
+{
+    auto m = model();
+    EXPECT_EQ(m.linesFor(HitLevel::L1), 4);
+    EXPECT_EQ(m.linesFor(HitLevel::L2), 9);
+    EXPECT_EQ(m.linesFor(HitLevel::L3), 9);
+    EXPECT_EQ(m.linesFor(HitLevel::Mem), 9);
+}
+
+TEST(CacheModel, StreamLinesAreDistinct)
+{
+    auto m = model();
+    for (HitLevel lvl : {HitLevel::L1, HitLevel::L2, HitLevel::L3,
+                         HitLevel::Mem}) {
+        auto ts = m.makeStream(lvl, 0);
+        std::set<uint64_t> uniq(ts.stream.lines.begin(),
+                                ts.stream.lines.end());
+        EXPECT_EQ(uniq.size(), ts.stream.lines.size());
+    }
+}
+
+TEST(CacheModel, L2StreamAliasesInL1)
+{
+    auto m = model();
+    auto ts = m.makeStream(HitLevel::L2, 0);
+    UarchDef u = builtinP7Uarch();
+    CacheHierarchy h(u.cacheGeometries(), false);
+    std::set<uint64_t> l1_sets;
+    for (uint64_t a : ts.stream.lines)
+        l1_sets.insert(h.level(0).setIndex(a));
+    EXPECT_EQ(l1_sets.size(), 1u);
+    // But spreads over several L2 sets.
+    std::set<uint64_t> l2_sets;
+    for (uint64_t a : ts.stream.lines)
+        l2_sets.insert(h.level(1).setIndex(a));
+    EXPECT_GT(l2_sets.size(), 4u);
+}
+
+TEST(CacheModel, MemStreamAliasesEverywhere)
+{
+    auto m = model();
+    auto ts = m.makeStream(HitLevel::Mem, 0);
+    UarchDef u = builtinP7Uarch();
+    CacheHierarchy h(u.cacheGeometries(), false);
+    for (int lvl = 0; lvl < 3; ++lvl) {
+        std::set<uint64_t> sets;
+        for (uint64_t a : ts.stream.lines)
+            sets.insert(h.level(lvl).setIndex(a));
+        EXPECT_EQ(sets.size(), 1u) << "level " << lvl;
+    }
+}
+
+TEST(CacheModel, DisjointPartitionsAcrossTargets)
+{
+    auto m = model();
+    // Streams with different target levels never share an L1 set.
+    std::set<uint64_t> used;
+    UarchDef u = builtinP7Uarch();
+    CacheHierarchy h(u.cacheGeometries(), false);
+    for (HitLevel lvl : {HitLevel::L1, HitLevel::L2, HitLevel::L3,
+                         HitLevel::Mem}) {
+        for (int idx = 0; idx < 2; ++idx) {
+            auto ts = m.makeStream(lvl, idx);
+            for (uint64_t a : ts.stream.lines) {
+                uint64_t set = h.level(0).setIndex(a);
+                // Sets 0-7 partitioned 2 per level.
+                EXPECT_EQ(set / 2,
+                          static_cast<uint64_t>(lvl))
+                    << "level partition violated";
+                used.insert(set);
+            }
+        }
+    }
+    EXPECT_LE(used.size(), 8u);
+}
+
+TEST(CacheModel, ThreadStripeBitsClear)
+{
+    auto m = model();
+    // Bits 10-11 are reserved for thread striping: every generated
+    // address must leave them zero.
+    for (HitLevel lvl : {HitLevel::L1, HitLevel::L2, HitLevel::L3,
+                         HitLevel::Mem})
+        for (int idx = 0; idx < 2; ++idx)
+            for (uint64_t a : m.makeStream(lvl, idx).stream.lines)
+                EXPECT_EQ(a & (3ull << 10), 0u);
+}
+
+TEST(CacheModel, VisitOrderIsScattered)
+{
+    auto m = model();
+    auto ts = m.makeStream(HitLevel::Mem, 0);
+    // No two consecutive visits touch adjacent cache lines (the
+    // prefetcher-defeating property).
+    for (size_t i = 1; i < ts.stream.lines.size(); ++i) {
+        uint64_t prev = ts.stream.lines[i - 1] / 128;
+        uint64_t cur = ts.stream.lines[i] / 128;
+        EXPECT_NE(prev + 1, cur);
+    }
+}
+
+// The headline guarantee: a stream targeting level X is served by
+// level X on the simulated hierarchy, for every target and stream
+// index.
+class StreamGuarantee
+    : public testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(StreamGuarantee, SteadyStateHitsTargetLevel)
+{
+    auto [lvl_i, idx] = GetParam();
+    auto target = static_cast<HitLevel>(lvl_i);
+    auto m = model();
+    auto ts = m.makeStream(target, idx);
+    EXPECT_EQ(ts.target, target);
+
+    UarchDef u = builtinP7Uarch();
+    CacheHierarchy h(u.cacheGeometries(), false);
+    EXPECT_EQ(steadyStateLevel(ts.stream, h), target);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTargets, StreamGuarantee,
+    testing::Combine(testing::Values(0, 1, 2, 3),
+                     testing::Values(0, 1, 2, 3)));
+
+TEST(CacheModel, ConcurrentStreamsKeepGuarantees)
+{
+    // Interleave one stream of every target level (shared
+    // hierarchy): each must still be served at its target.
+    auto m = model();
+    UarchDef u = builtinP7Uarch();
+    CacheHierarchy h(u.cacheGeometries(), false);
+    TargetedStream ss[4] = {
+        m.makeStream(HitLevel::L1, 0),
+        m.makeStream(HitLevel::L2, 0),
+        m.makeStream(HitLevel::L3, 0),
+        m.makeStream(HitLevel::Mem, 0),
+    };
+    size_t cur[4] = {0, 0, 0, 0};
+    auto step = [&](int s) {
+        const auto &lines = ss[s].stream.lines;
+        HitLevel lvl = h.access(lines[cur[s] % lines.size()]);
+        ++cur[s];
+        return lvl;
+    };
+    for (int warm = 0; warm < 60; ++warm)
+        for (int s = 0; s < 4; ++s)
+            step(s);
+    for (int it = 0; it < 30; ++it)
+        for (int s = 0; s < 4; ++s)
+            EXPECT_EQ(step(s), ss[s].target) << "stream " << s;
+}
+
+TEST(CacheModel, GuaranteesHoldWithPrefetcherOn)
+{
+    // The scattered visit order must defeat the next-line
+    // prefetcher, preserving the miss guarantees.
+    auto m = model();
+    UarchDef u = builtinP7Uarch();
+    CacheHierarchy h(u.cacheGeometries(), true);
+    auto ts = m.makeStream(HitLevel::Mem, 0);
+    EXPECT_EQ(steadyStateLevel(ts.stream, h), HitLevel::Mem);
+    EXPECT_EQ(h.prefetchFills(), 0u);
+}
+
+TEST(CacheModelDeath, RejectsTwoLevelHierarchies)
+{
+    UarchDef u;
+    u.addCache({"L1", {32768, 8, 128}, 2, "PMC_A"});
+    u.addCache({"L2", {262144, 8, 128}, 8, "PMC_B"});
+    EXPECT_EXIT(AnalyticalCacheModel m(u),
+                testing::ExitedWithCode(1), "3 cache levels");
+}

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Tests for the integrated design-space-exploration module.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "microprobe/dse.hh"
+
+using namespace mprobe;
+
+TEST(ExhaustiveSearch, EnumeratesFullSpace)
+{
+    ExhaustiveSearch s;
+    std::vector<ParamDomain> space = {{"a", 0, 3}, {"b", 1, 2}};
+    auto best = s.search(space, [](const DesignPoint &p) {
+        return static_cast<double>(p[0] * 10 + p[1]);
+    });
+    EXPECT_EQ(s.history().size(), 8u);
+    EXPECT_EQ(best.point, (DesignPoint{3, 2}));
+    EXPECT_DOUBLE_EQ(best.fitness, 32.0);
+}
+
+TEST(ExhaustiveSearch, FilterRestrictsSpace)
+{
+    // The paper's 540: sequences of 6 over 3 candidates containing
+    // all three (inclusion-exclusion: 3^6 - 3*2^6 + 3 = 540).
+    ExhaustiveSearch s([](const DesignPoint &p) {
+        for (int c = 0; c < 3; ++c)
+            if (std::find(p.begin(), p.end(), c) == p.end())
+                return false;
+        return true;
+    });
+    std::vector<ParamDomain> space(6, ParamDomain{"slot", 0, 2});
+    s.search(space, [](const DesignPoint &) { return 0.0; });
+    EXPECT_EQ(s.history().size(), 540u);
+}
+
+TEST(ExhaustiveSearch, HistoryHasEveryEvaluation)
+{
+    ExhaustiveSearch s;
+    std::vector<ParamDomain> space = {{"a", 0, 9}};
+    s.search(space, [](const DesignPoint &p) {
+        return static_cast<double>(-p[0]);
+    });
+    auto fits = s.fitnessValues();
+    ASSERT_EQ(fits.size(), 10u);
+    std::set<double> uniq(fits.begin(), fits.end());
+    EXPECT_EQ(uniq.size(), 10u);
+}
+
+TEST(ExhaustiveSearchDeath, HugeSpaceFatal)
+{
+    ExhaustiveSearch s(nullptr, 100);
+    std::vector<ParamDomain> space(12, ParamDomain{"x", 0, 9});
+    EXPECT_EXIT(s.search(space,
+                         [](const DesignPoint &) { return 0.0; }),
+                testing::ExitedWithCode(1), "impractical");
+}
+
+TEST(GeneticSearch, FindsOptimumOfSeparableProblem)
+{
+    GaOptions o;
+    o.population = 20;
+    o.generations = 30;
+    o.seed = 42;
+    GeneticSearch s(o);
+    std::vector<ParamDomain> space(4, ParamDomain{"x", 0, 15});
+    // Max at all-15s.
+    auto best = s.search(space, [](const DesignPoint &p) {
+        double v = 0;
+        for (int x : p)
+            v += x;
+        return v;
+    });
+    EXPECT_GE(best.fitness, 56.0); // near 60
+}
+
+TEST(GeneticSearch, ConvergesOnUnimodalValley)
+{
+    GaOptions o;
+    o.population = 16;
+    o.generations = 25;
+    o.seed = 7;
+    GeneticSearch s(o);
+    std::vector<ParamDomain> space = {{"x", 0, 100},
+                                      {"y", 0, 100}};
+    auto best = s.search(space, [](const DesignPoint &p) {
+        double dx = p[0] - 37, dy = p[1] - 64;
+        return -(dx * dx + dy * dy);
+    });
+    EXPECT_NEAR(best.point[0], 37, 6);
+    EXPECT_NEAR(best.point[1], 64, 6);
+}
+
+TEST(GeneticSearch, DeterministicForSeed)
+{
+    auto run = [](uint64_t seed) {
+        GaOptions o;
+        o.population = 10;
+        o.generations = 5;
+        o.seed = seed;
+        GeneticSearch s(o);
+        std::vector<ParamDomain> space = {{"x", 0, 63}};
+        return s.search(space, [](const DesignPoint &p) {
+            return std::sin(p[0] * 0.1) * p[0];
+        });
+    };
+    auto a = run(5);
+    auto b = run(5);
+    EXPECT_EQ(a.point, b.point);
+    EXPECT_DOUBLE_EQ(a.fitness, b.fitness);
+}
+
+TEST(GeneticSearch, EvaluationBudgetBounded)
+{
+    GaOptions o;
+    o.population = 8;
+    o.generations = 4;
+    GeneticSearch s(o);
+    std::vector<ParamDomain> space = {{"x", 0, 9}};
+    s.search(space,
+             [](const DesignPoint &p) { return 1.0 * p[0]; });
+    // population + generations * (population - elites)
+    EXPECT_LE(s.history().size(), 8u + 4u * 8u);
+    EXPECT_GE(s.history().size(), 8u);
+}
+
+TEST(GeneticSearchDeath, BadOptionsFatal)
+{
+    GaOptions o;
+    o.population = 1;
+    EXPECT_EXIT(GeneticSearch s(o), testing::ExitedWithCode(1),
+                "population");
+}
+
+TEST(UserGuidedSearch, CallbackDrivesWalk)
+{
+    // Binary-search-like guided descent on |x - 42|.
+    UserGuidedSearch s(
+        [](const std::vector<Evaluated> &hist, DesignPoint &p) {
+            if (hist.empty()) {
+                p = {50};
+                return true;
+            }
+            if (hist.size() >= 8)
+                return false;
+            int x = hist.back().point[0];
+            double f = hist.back().fitness;
+            // fitness = -|x-42|: move toward the optimum.
+            p = {f < 0 ? (x > 42 ? x - 2 : x + 2) : x};
+            return hist.back().fitness < 0.0;
+        });
+    std::vector<ParamDomain> space = {{"x", 0, 100}};
+    auto best = s.search(space, [](const DesignPoint &p) {
+        return -std::abs(p[0] - 42.0);
+    });
+    EXPECT_EQ(best.point[0], 42);
+}
+
+TEST(UserGuidedSearchDeath, OutOfDomainProposalFatal)
+{
+    UserGuidedSearch s(
+        [](const std::vector<Evaluated> &, DesignPoint &p) {
+            p = {999};
+            return true;
+        });
+    std::vector<ParamDomain> space = {{"x", 0, 10}};
+    EXPECT_EXIT(
+        s.search(space,
+                 [](const DesignPoint &) { return 0.0; }),
+        testing::ExitedWithCode(1), "outside domain");
+}
+
+TEST(UserGuidedSearchDeath, NullCallbackFatal)
+{
+    EXPECT_EXIT(UserGuidedSearch s(nullptr),
+                testing::ExitedWithCode(1), "callback");
+}
+
+TEST(SearchDriverDeath, EmptySpaceFatal)
+{
+    ExhaustiveSearch s;
+    EXPECT_EXIT(s.search({}, [](const DesignPoint &) {
+        return 0.0;
+    }),
+                testing::ExitedWithCode(1), "empty design space");
+}
+
+TEST(SearchDriverDeath, EmptyDomainFatal)
+{
+    ExhaustiveSearch s;
+    std::vector<ParamDomain> space = {{"x", 3, 2}};
+    EXPECT_EXIT(s.search(space, [](const DesignPoint &) {
+        return 0.0;
+    }),
+                testing::ExitedWithCode(1), "empty domain");
+}

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Tests for the POTRA-role trace collection and analysis module:
+ * phased-workload tracing, smoothing, phase segmentation and
+ * sparkline rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "microprobe/passes.hh"
+#include "microprobe/synthesizer.hh"
+#include "potra/analysis.hh"
+#include "power/sample.hh"
+#include "potra/trace.hh"
+
+using namespace mprobe;
+
+namespace
+{
+
+struct Fixture
+{
+    Architecture arch = Architecture::get("POWER7");
+    Machine machine{arch.isa()};
+    Program hot;
+    Program cold;
+    Program memory;
+
+    Fixture()
+    {
+        hot = make({arch.isa().find("xvmaddadp"),
+                    arch.isa().find("mulldo")},
+                   0, nullptr, "hot");
+        cold = make({arch.isa().find("addic")}, 1, nullptr, "cold");
+        MemDistribution mem{0, 0, 0, 1};
+        memory = make(arch.isa().loads(), 6, &mem, "memory");
+    }
+
+    Program
+    make(std::vector<Isa::OpIndex> cands, int dep,
+         const MemDistribution *mem, const std::string &name)
+    {
+        Synthesizer s(arch, 0xf00d);
+        s.addPass<SkeletonPass>(512);
+        s.addPass<InstructionMixPass>(std::move(cands));
+        if (mem)
+            s.addPass<MemoryModelPass>(*mem);
+        s.add(std::make_unique<DependencyDistancePass>(
+            dep == 0 ? DependencyDistancePass::none()
+                     : DependencyDistancePass::fixed(dep)));
+        return s.synthesize(name);
+    }
+
+    PhasedWorkload
+    threePhase()
+    {
+        PhasedWorkload w;
+        w.name = "three-phase";
+        w.phases = {{&hot, 20.0}, {&memory, 30.0}, {&cold, 25.0}};
+        return w;
+    }
+};
+
+} // namespace
+
+TEST(Potra, TraceHasOneSamplePerMillisecond)
+{
+    Fixture f;
+    PhasedWorkload w = f.threePhase();
+    PowerTrace t = tracePhased(f.machine, w, {4, 1});
+    EXPECT_EQ(t.samples.size(), 75u);
+    EXPECT_DOUBLE_EQ(t.sampleMs, 1.0);
+    EXPECT_EQ(t.workload, "three-phase");
+    // Timestamps are monotone with the sampling period.
+    for (size_t i = 1; i < t.samples.size(); ++i)
+        EXPECT_NEAR(t.samples[i].timeMs -
+                        t.samples[i - 1].timeMs,
+                    1.0, 1e-9);
+}
+
+TEST(Potra, SamplesCarryNoiseButTrackPhasePower)
+{
+    Fixture f;
+    PhasedWorkload w;
+    w.name = "flat";
+    w.phases = {{&f.hot, 50.0}};
+    PowerTrace t = tracePhased(f.machine, w, {4, 1});
+    RunResult r = f.machine.run(f.hot, {4, 1});
+    bool varied = false;
+    for (const auto &s : t.samples) {
+        EXPECT_NEAR(s.watts, r.sensorWatts,
+                    0.02 * r.sensorWatts);
+        varied |= s.watts != t.samples[0].watts;
+    }
+    EXPECT_TRUE(varied); // per-sample sensor noise
+}
+
+TEST(Potra, PhasePowersDiffer)
+{
+    Fixture f;
+    PowerTrace t =
+        tracePhased(f.machine, f.threePhase(), {4, 1});
+    // Hot phase (first 20 samples) draws more than cold (last 25).
+    double hot = 0, cold = 0;
+    for (size_t i = 0; i < 20; ++i)
+        hot += t.samples[i].watts;
+    for (size_t i = 50; i < 75; ++i)
+        cold += t.samples[i].watts;
+    EXPECT_GT(hot / 20, cold / 25 + 5.0);
+}
+
+TEST(Potra, SmoothingReducesVariance)
+{
+    Fixture f;
+    PowerTrace t =
+        tracePhased(f.machine, f.threePhase(), {8, 2});
+    auto sm = smoothPower(t, 5);
+    ASSERT_EQ(sm.size(), t.samples.size());
+    // Variance of the smoothed series within the first phase is
+    // below the raw variance.
+    auto var_of = [&](auto get) {
+        double m = 0;
+        for (size_t i = 2; i < 18; ++i)
+            m += get(i);
+        m /= 16;
+        double v = 0;
+        for (size_t i = 2; i < 18; ++i)
+            v += (get(i) - m) * (get(i) - m);
+        return v / 16;
+    };
+    double raw = var_of(
+        [&](size_t i) { return t.samples[i].watts; });
+    double smooth = var_of([&](size_t i) { return sm[i]; });
+    EXPECT_LE(smooth, raw + 1e-12);
+}
+
+TEST(Potra, SegmentationRecoversThreePhases)
+{
+    Fixture f;
+    PowerTrace t =
+        tracePhased(f.machine, f.threePhase(), {4, 1});
+    auto phases = segmentPhases(t);
+    ASSERT_EQ(phases.size(), 3u);
+    // Boundaries near 20 ms and 50 ms.
+    EXPECT_NEAR(phases[0].lastSample, 19, 4);
+    EXPECT_NEAR(phases[1].lastSample, 49, 4);
+    EXPECT_EQ(phases[2].lastSample, 74u);
+    // Phase means ordered: hot > memory-phase?? power of memory
+    // phase is low (stalled), cold chain is low too; check hot is
+    // the maximum.
+    EXPECT_GT(phases[0].meanWatts, phases[1].meanWatts);
+    EXPECT_GT(phases[0].meanWatts, phases[2].meanWatts);
+    // Durations recover the script.
+    EXPECT_NEAR(phases[0].durationMs(t), 20.0, 4.0);
+    EXPECT_NEAR(phases[1].durationMs(t), 30.0, 6.0);
+}
+
+TEST(Potra, SegmentationSinglePhaseForFlatTrace)
+{
+    Fixture f;
+    PhasedWorkload w;
+    w.name = "flat";
+    w.phases = {{&f.hot, 40.0}};
+    PowerTrace t = tracePhased(f.machine, w, {4, 1});
+    auto phases = segmentPhases(t);
+    EXPECT_EQ(phases.size(), 1u);
+    EXPECT_EQ(phases[0].firstSample, 0u);
+    EXPECT_EQ(phases[0].lastSample, 39u);
+}
+
+TEST(Potra, PhaseMeanRatesExposedForModeling)
+{
+    // The abstract's "phase-specific power projection": detected
+    // phases carry mean activity rates a power model can consume.
+    Fixture f;
+    PowerTrace t =
+        tracePhased(f.machine, f.threePhase(), {4, 1});
+    auto phases = segmentPhases(t);
+    ASSERT_GE(phases.size(), 2u);
+    for (const auto &ph : phases)
+        ASSERT_EQ(ph.meanRates.size(),
+                  dynamicFeatureNames().size());
+    // The memory phase shows MEM activity; the hot phase does not.
+    EXPECT_GT(phases[1].meanRates[6], 1e-3);
+    EXPECT_LT(phases[0].meanRates[6], 1e-3);
+}
+
+TEST(Potra, SparklineSpansLevels)
+{
+    std::vector<double> v;
+    for (int i = 0; i < 128; ++i)
+        v.push_back(i % 2 ? 10.0 : i / 16.0);
+    std::string s = sparkline(v, 32);
+    EXPECT_EQ(s.size(), 32u);
+    // Both low and high glyphs appear.
+    EXPECT_NE(s.find('#'), std::string::npos);
+}
+
+TEST(Potra, SparklineEmptyAndTiny)
+{
+    EXPECT_EQ(sparkline({}, 10), "");
+    EXPECT_EQ(sparkline({1.0}, 10).size(), 1u);
+}
+
+TEST(PotraDeath, EmptyWorkloadFatal)
+{
+    Fixture f;
+    PhasedWorkload w;
+    w.name = "empty";
+    EXPECT_EXIT(tracePhased(f.machine, w, {1, 1}),
+                testing::ExitedWithCode(1), "no phases");
+}
+
+TEST(PotraDeath, BadSamplePeriodFatal)
+{
+    Fixture f;
+    PhasedWorkload w = f.threePhase();
+    EXPECT_EXIT(tracePhased(f.machine, w, {1, 1}, 0.0),
+                testing::ExitedWithCode(1), "sampling period");
+}
+
+TEST(Potra, TotalMs)
+{
+    Fixture f;
+    EXPECT_DOUBLE_EQ(f.threePhase().totalMs(), 75.0);
+}

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Tests for the bottom-up and top-down power models on synthetic
+ * sample sets with known structure (fast, no simulation), plus
+ * small measured corpora.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/bottomup.hh"
+#include "util/stats.hh"
+#include "power/topdown.hh"
+#include "util/rng.hh"
+
+using namespace mprobe;
+
+namespace
+{
+
+/**
+ * Synthetic ground truth mirroring the machine's structure:
+ * P = sum(w*rates) + smt*cores*smtOn + cmp*cores + base (+ noise).
+ */
+struct SynthWorld
+{
+    std::vector<double> w = {3.0, 2.5, 2.0, 0.5, 1.5, 2.5, 6.0};
+    double smt = 0.6;
+    double cmp = 1.2;
+    double base = 45.0;
+    Rng rng{99};
+
+    Sample
+    sample(const ChipConfig &cfg, double act, double noise = 0.05)
+    {
+        Sample s;
+        s.workload = "synth";
+        s.config = cfg;
+        s.rates.resize(7);
+        double p = base + cmp * cfg.cores +
+                   (cfg.smt > 1 ? smt * cfg.cores : 0.0);
+        for (size_t i = 0; i < 7; ++i) {
+            s.rates[i] = act * rng.uniform(0.0, 2.0) * cfg.cores;
+            p += w[i] * s.rates[i];
+        }
+        s.powerWatts = p + rng.gaussian(0, noise);
+        return s;
+    }
+
+    /** Compute-only sample (no L2/L3/MEM activity). */
+    Sample
+    computeSample(const ChipConfig &cfg, double act)
+    {
+        Sample s = sample(cfg, act);
+        double p = s.powerWatts;
+        for (size_t i = 4; i < 7; ++i) {
+            p -= w[i] * s.rates[i];
+            s.rates[i] = 0.0;
+        }
+        s.powerWatts = p;
+        return s;
+    }
+
+    BottomUpTrainingSet
+    trainingSet()
+    {
+        BottomUpTrainingSet t;
+        t.idleWatts = 40.0;
+        for (int i = 0; i < 40; ++i)
+            t.microSmt1.push_back(
+                computeSample({1, 1}, 0.2 + 0.1 * (i % 10)));
+        for (int i = 0; i < 30; ++i)
+            t.microSmt1.push_back(
+                sample({1, 1}, 0.2 + 0.1 * (i % 10)));
+        for (int i = 0; i < 20; ++i)
+            t.microSmtOn.push_back(
+                sample({1, i % 2 ? 2 : 4}, 0.3 + 0.1 * (i % 8)));
+        for (int i = 0; i < 25; ++i)
+            t.randomSmt1.push_back(sample({1, 1}, 0.5));
+        for (const auto &cfg : ChipConfig::all())
+            for (int i = 0; i < 4; ++i)
+                t.randomAllConfigs.push_back(
+                    sample(cfg, 0.2 + 0.2 * i));
+        return t;
+    }
+};
+
+} // namespace
+
+TEST(BottomUp, RecoversPlantedStructure)
+{
+    SynthWorld w;
+    BottomUpModel m = BottomUpModel::train(w.trainingSet());
+    // Dynamic weights close to planted.
+    for (size_t i = 0; i < 7; ++i)
+        EXPECT_NEAR(m.weights()[i], w.w[i], 0.35) << "weight " << i;
+    EXPECT_NEAR(m.smtEffect(), w.smt, 0.25);
+    EXPECT_NEAR(m.cmpEffect(), w.cmp, 0.3);
+    // uncore + WI together recover the base.
+    EXPECT_NEAR(m.uncore() + m.workloadIndependent(), w.base, 1.5);
+}
+
+TEST(BottomUp, PredictsHeldOutSamples)
+{
+    SynthWorld w;
+    BottomUpModel m = BottomUpModel::train(w.trainingSet());
+    std::vector<double> pred, real;
+    for (const auto &cfg : ChipConfig::all()) {
+        Sample s = w.sample(cfg, 0.7);
+        pred.push_back(m.predict(s));
+        real.push_back(s.powerWatts);
+    }
+    EXPECT_LT(paae(pred, real), 1.5);
+}
+
+TEST(BottomUp, BreakdownSumsToPrediction)
+{
+    SynthWorld w;
+    BottomUpModel m = BottomUpModel::train(w.trainingSet());
+    Sample s = w.sample({6, 4}, 0.5);
+    PowerBreakdown b = m.breakdown(s);
+    EXPECT_NEAR(b.total(), m.predict(s), 1e-9);
+    EXPECT_GT(b.dynamic, 0.0);
+    EXPECT_GT(b.smtEffect, 0.0);
+    EXPECT_GT(b.cmpEffect, 0.0);
+    EXPECT_DOUBLE_EQ(b.workloadIndependent, 40.0);
+}
+
+TEST(BottomUp, SmtComponentZeroWhenDisabled)
+{
+    SynthWorld w;
+    BottomUpModel m = BottomUpModel::train(w.trainingSet());
+    Sample s = w.sample({8, 1}, 0.5);
+    EXPECT_DOUBLE_EQ(m.breakdown(s).smtEffect, 0.0);
+}
+
+TEST(BottomUp, WeightsNonNegative)
+{
+    SynthWorld w;
+    BottomUpModel m = BottomUpModel::train(w.trainingSet());
+    for (double c : m.weights())
+        EXPECT_GE(c, 0.0);
+}
+
+TEST(BottomUpDeath, IncompleteTrainingSetFatal)
+{
+    BottomUpTrainingSet t;
+    EXPECT_EXIT(BottomUpModel::train(t),
+                testing::ExitedWithCode(1), "incomplete training");
+}
+
+TEST(TopDown, FitsSameWorld)
+{
+    SynthWorld w;
+    std::vector<Sample> train;
+    for (const auto &cfg : ChipConfig::all())
+        for (int i = 0; i < 6; ++i)
+            train.push_back(w.sample(cfg, 0.2 + 0.15 * i));
+    TopDownModel m = TopDownModel::train(train, "TD_Test");
+    EXPECT_EQ(m.name(), "TD_Test");
+    std::vector<double> pred, real;
+    for (const auto &cfg : ChipConfig::all()) {
+        Sample s = w.sample(cfg, 0.9);
+        pred.push_back(m.predict(s));
+        real.push_back(s.powerWatts);
+    }
+    EXPECT_LT(paae(pred, real), 2.0);
+}
+
+TEST(TopDown, StepwiseSelectsInformativePredictors)
+{
+    SynthWorld w;
+    std::vector<Sample> train;
+    for (const auto &cfg : ChipConfig::all())
+        for (int i = 0; i < 6; ++i)
+            train.push_back(w.sample(cfg, 0.2 + 0.15 * i));
+    TopDownModel m = TopDownModel::train(train, "TD_Sel");
+    // MEM (weight 6) is the strongest rate; it must be selected.
+    bool has_mem = false;
+    for (const auto &n : m.selected())
+        has_mem |= n == "MEM";
+    EXPECT_TRUE(has_mem);
+    EXPECT_GE(m.selected().size(), 5u);
+}
+
+TEST(TopDown, AblationWithoutCmpSmtVariablesIsWorse)
+{
+    // The paper's point: models without the #cores/SMT inputs show
+    // large errors across configurations.
+    SynthWorld w;
+    std::vector<Sample> train;
+    for (const auto &cfg : ChipConfig::all())
+        for (int i = 0; i < 6; ++i)
+            train.push_back(w.sample(cfg, 0.2 + 0.15 * i));
+    TopDownOptions no_vars;
+    no_vars.useCores = false;
+    no_vars.useSmt = false;
+    TopDownModel base = TopDownModel::train(train, "TD_Full");
+    TopDownModel ablated =
+        TopDownModel::train(train, "TD_NoVars", no_vars);
+
+    std::vector<double> pb, pa, real;
+    for (const auto &cfg : ChipConfig::all()) {
+        // Low-activity probes expose the static terms.
+        Sample s = w.sample(cfg, 0.05);
+        pb.push_back(base.predict(s));
+        pa.push_back(ablated.predict(s));
+        real.push_back(s.powerWatts);
+    }
+    EXPECT_LT(paae(pb, real), paae(pa, real));
+}
+
+TEST(TopDownDeath, TooFewSamplesFatal)
+{
+    std::vector<Sample> tiny(3);
+    EXPECT_EXIT(TopDownModel::train(tiny, "x"),
+                testing::ExitedWithCode(1), "too few");
+}
+
+TEST(Sample, MakeSampleExtractsRates)
+{
+    RunResult r;
+    r.config = {2, 4};
+    r.seconds = 0.5;
+    r.chip.fxuOps = 1e9;
+    r.chip.vsuOps = 2e9;
+    r.chip.lsuOps = 0.5e9;
+    r.chip.l1Hits = 0.4e9;
+    r.chip.l2Hits = 0.3e9;
+    r.chip.l3Hits = 0.2e9;
+    r.chip.memAcc = 0.1e9;
+    r.sensorWatts = 77.5;
+    Sample s = makeSample("w", r);
+    ASSERT_EQ(s.rates.size(), 7u);
+    EXPECT_DOUBLE_EQ(s.rates[0], 2.0);  // 1e9 / 0.5s in Gev/s
+    EXPECT_DOUBLE_EQ(s.rates[1], 4.0);
+    EXPECT_DOUBLE_EQ(s.rates[6], 0.2);
+    EXPECT_DOUBLE_EQ(s.powerWatts, 77.5);
+    EXPECT_DOUBLE_EQ(s.coresVar(), 2.0);
+    EXPECT_DOUBLE_EQ(s.smtVar(), 1.0);
+}
+
+TEST(Sample, SmtVarZeroForSt)
+{
+    Sample s;
+    s.config = {4, 1};
+    EXPECT_DOUBLE_EQ(s.smtVar(), 0.0);
+}

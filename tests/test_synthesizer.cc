@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for the pass-driven synthesizer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "microprobe/passes.hh"
+#include "microprobe/synthesizer.hh"
+
+using namespace mprobe;
+
+namespace
+{
+
+Architecture
+arch()
+{
+    return Architecture::get("POWER7");
+}
+
+} // namespace
+
+TEST(Synthesizer, AppliesPassesInOrder)
+{
+    auto a = arch();
+    Synthesizer s(a);
+    s.addPass<SkeletonPass>(128);
+    s.addPass<InstructionMixPass>(a.isa().loads());
+    s.addPass<MemoryModelPass>(MemDistribution{1, 0, 0, 0});
+    s.addPass<RegisterInitPass>(DataPattern::Random);
+    EXPECT_EQ(s.passCount(), 4u);
+    Program p = s.synthesize("x");
+    EXPECT_EQ(p.name, "x");
+    EXPECT_EQ(p.body.size(), 128u);
+    EXPECT_FALSE(p.streams.empty());
+}
+
+TEST(Synthesizer, PassNamesReadable)
+{
+    auto a = arch();
+    Synthesizer s(a);
+    s.addPass<SkeletonPass>(4096);
+    s.addPass<RegisterInitPass>(DataPattern::Alt01);
+    auto names = s.passNames();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_NE(names[0].find("4096"), std::string::npos);
+    EXPECT_EQ(names[1], "init-registers");
+}
+
+TEST(Synthesizer, RepeatedCallsDifferUnderRandomPasses)
+{
+    // Figure 2 lines 31-33: ten invocations produce ten different
+    // micro-benchmarks under one policy.
+    auto a = arch();
+    Synthesizer s(a);
+    s.addPass<SkeletonPass>(256);
+    s.addPass<InstructionMixPass>(a.isa().loads());
+    s.add(std::make_unique<DependencyDistancePass>(
+        DependencyDistancePass::random(1, 16)));
+    Program p1 = s.synthesize();
+    Program p2 = s.synthesize();
+    bool differs = false;
+    for (size_t i = 0; i < p1.body.size(); ++i)
+        differs |= p1.body[i].op != p2.body[i].op ||
+                   p1.body[i].depDist != p2.body[i].depDist;
+    EXPECT_TRUE(differs);
+}
+
+TEST(Synthesizer, SameSeedSameOutput)
+{
+    auto a = arch();
+    auto make = [&]() {
+        Synthesizer s(a, 999);
+        s.addPass<SkeletonPass>(256);
+        s.addPass<InstructionMixPass>(a.isa().loads());
+        s.add(std::make_unique<DependencyDistancePass>(
+            DependencyDistancePass::random(1, 16)));
+        return s.synthesize("same");
+    };
+    Program p1 = make();
+    Program p2 = make();
+    ASSERT_EQ(p1.body.size(), p2.body.size());
+    for (size_t i = 0; i < p1.body.size(); ++i) {
+        EXPECT_EQ(p1.body[i].op, p2.body[i].op);
+        EXPECT_EQ(p1.body[i].depDist, p2.body[i].depDist);
+    }
+}
+
+TEST(Synthesizer, AutoNamesCount)
+{
+    auto a = arch();
+    Synthesizer s(a);
+    s.addPass<SkeletonPass>(64);
+    EXPECT_EQ(s.synthesize().name, "ubench-1");
+    EXPECT_EQ(s.synthesize().name, "ubench-2");
+}
+
+TEST(SynthesizerDeath, NoPassesFatal)
+{
+    auto a = arch();
+    Synthesizer s(a);
+    EXPECT_EXIT(s.synthesize(), testing::ExitedWithCode(1),
+                "no passes");
+}
+
+TEST(Synthesizer, Figure2PolicyEndToEnd)
+{
+    // The paper's Figure-2 script: 4K loop of VSU loads hitting
+    // L1/L2/L3 equally, constant data, random dependencies.
+    auto a = arch();
+    // The VSU-stress query needs bootstrapped unit info; stand in
+    // for the bootstrap with the ISA's vector-data attribute here.
+    auto loads = a.isa().select([](const InstrDef &d) {
+        return d.isLoad() && d.vectorData;
+    });
+    ASSERT_FALSE(loads.empty());
+
+    Synthesizer synth(a);
+    synth.addPass<SkeletonPass>(4096);
+    synth.addPass<InstructionMixPass>(loads);
+    synth.addPass<MemoryModelPass>(
+        MemDistribution{0.33, 0.33, 0.34, 0.0});
+    synth.addPass<RegisterInitPass>(DataPattern::Alt01);
+    synth.addPass<ImmediateInitPass>(DataPattern::Alt01);
+    synth.add(std::make_unique<DependencyDistancePass>(
+        DependencyDistancePass::random(1, 32)));
+
+    for (int i = 0; i < 10; ++i) {
+        Program p = synth.synthesize();
+        EXPECT_EQ(p.body.size(), 4096u);
+        EXPECT_EQ(p.streams.size(), 3u);
+    }
+}

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unit tests for the micro-architecture definition module.
+ */
+
+#include <gtest/gtest.h>
+
+#include "uarch/uarch.hh"
+
+using namespace mprobe;
+
+TEST(UarchParser, ParsesBuiltin)
+{
+    UarchDef u = builtinP7Uarch();
+    EXPECT_EQ(u.name(), "POWER7-like");
+    EXPECT_DOUBLE_EQ(u.clockGhz(), 3.0);
+    EXPECT_EQ(u.maxCores(), 8);
+    EXPECT_EQ(u.maxSmt(), 4);
+    EXPECT_EQ(u.dispatchWidth(), 6);
+    EXPECT_EQ(u.ipcFormula(), "PM_RUN_INST_CMPL / PM_RUN_CYC");
+}
+
+TEST(UarchParser, UnitsHaveCountersAndAreas)
+{
+    UarchDef u = builtinP7Uarch();
+    ASSERT_EQ(u.units().size(), 5u);
+    EXPECT_EQ(u.unit("FXU").pipes, 2);
+    EXPECT_EQ(u.unit("LSU").pmc, "PM_LSU_FIN");
+    EXPECT_EQ(u.unit("VSU").pipes, 4);
+    EXPECT_GT(u.unit("VSU").areaMm2, u.unit("BRU").areaMm2);
+    EXPECT_TRUE(u.hasUnit("CRU"));
+    EXPECT_FALSE(u.hasUnit("XYZ"));
+}
+
+TEST(UarchParser, CacheHierarchyMatchesP7)
+{
+    UarchDef u = builtinP7Uarch();
+    ASSERT_EQ(u.caches().size(), 3u);
+    EXPECT_EQ(u.cache("L1").geom.sizeBytes, 32u * 1024);
+    EXPECT_EQ(u.cache("L2").geom.sizeBytes, 256u * 1024);
+    EXPECT_EQ(u.cache("L3").geom.sizeBytes, 4u * 1024 * 1024);
+    for (const auto &c : u.caches()) {
+        EXPECT_EQ(c.geom.assoc, 8);
+        EXPECT_EQ(c.geom.lineBytes, 128);
+    }
+    EXPECT_EQ(u.cache("L1").loadToUse, 2);
+    EXPECT_GT(u.memLatency(), u.cache("L3").loadToUse);
+}
+
+TEST(UarchParser, GeometriesOrdered)
+{
+    UarchDef u = builtinP7Uarch();
+    auto g = u.cacheGeometries();
+    ASSERT_EQ(g.size(), 3u);
+    EXPECT_LT(g[0].sizeBytes, g[1].sizeBytes);
+    EXPECT_LT(g[1].sizeBytes, g[2].sizeBytes);
+}
+
+TEST(UarchParser, PartialDefinitionHasNoInstrProps)
+{
+    UarchDef u = builtinP7Uarch();
+    EXPECT_EQ(u.bootstrappedCount(), 0u);
+    EXPECT_FALSE(u.props("add").complete());
+}
+
+TEST(Uarch, PropsMutateAndQuery)
+{
+    UarchDef u = builtinP7Uarch();
+    InstrProps &p = u.propsMut("add");
+    p.latency = 1;
+    p.throughput = 3.5;
+    p.epi = 0.9;
+    p.units = {"FXU", "LSU"};
+    EXPECT_TRUE(u.props("add").complete());
+    EXPECT_TRUE(u.stresses("add", "FXU"));
+    EXPECT_TRUE(u.stresses("add", "LSU"));
+    EXPECT_FALSE(u.stresses("add", "VSU"));
+    EXPECT_EQ(u.bootstrappedCount(), 1u);
+}
+
+TEST(Uarch, RoundTripWithProps)
+{
+    UarchDef u = builtinP7Uarch();
+    InstrProps &p = u.propsMut("lbz");
+    p.latency = 2;
+    p.throughput = 1.68;
+    p.epi = 1.65;
+    p.avgPower = 20.5;
+    p.units = {"LSU", "L1"};
+
+    UarchDef v = UarchDef::fromText(u.toText(), "<roundtrip>");
+    EXPECT_EQ(v.name(), u.name());
+    EXPECT_EQ(v.units().size(), u.units().size());
+    EXPECT_EQ(v.caches().size(), u.caches().size());
+    EXPECT_EQ(v.memLatency(), u.memLatency());
+    const InstrProps &q = v.props("lbz");
+    EXPECT_DOUBLE_EQ(q.latency, 2);
+    EXPECT_DOUBLE_EQ(q.throughput, 1.68);
+    EXPECT_DOUBLE_EQ(q.epi, 1.65);
+    EXPECT_DOUBLE_EQ(q.avgPower, 20.5);
+    ASSERT_EQ(q.units.size(), 2u);
+    EXPECT_EQ(q.units[0], "LSU");
+    EXPECT_EQ(q.units[1], "L1");
+}
+
+TEST(UarchDeath, UnknownUnitFatal)
+{
+    UarchDef u = builtinP7Uarch();
+    EXPECT_EXIT(u.unit("QPU"), testing::ExitedWithCode(1),
+                "unknown functional unit");
+}
+
+TEST(UarchDeath, UnknownCacheFatal)
+{
+    UarchDef u = builtinP7Uarch();
+    EXPECT_EXIT(u.cache("L4"), testing::ExitedWithCode(1),
+                "unknown cache level");
+}
+
+TEST(UarchDeath, DuplicateUnitFatal)
+{
+    EXPECT_EXIT(UarchDef::fromText("unit FXU pipes=2 pmc=A\n"
+                                   "unit FXU pipes=2 pmc=B\n"),
+                testing::ExitedWithCode(1), "duplicate unit");
+}
+
+TEST(UarchDeath, MalformedKeyValueFatal)
+{
+    EXPECT_EXIT(UarchDef::fromText("unit FXU pipes\n"),
+                testing::ExitedWithCode(1), "key=value");
+}
+
+TEST(UarchDeath, UnknownDirectiveFatal)
+{
+    EXPECT_EXIT(UarchDef::fromText("wibble 3\n"),
+                testing::ExitedWithCode(1), "unknown directive");
+}
+
+TEST(UarchParser, IpcFormulaPreservesSpaces)
+{
+    UarchDef u =
+        UarchDef::fromText("ipc PM_A / PM_B\n", "<t>");
+    EXPECT_EQ(u.ipcFormula(), "PM_A / PM_B");
+}
+
+TEST(Uarch, CachePmcNames)
+{
+    UarchDef u = builtinP7Uarch();
+    EXPECT_EQ(u.cache("L1").pmc, "PM_DATA_FROM_L1");
+    EXPECT_EQ(u.cache("L3").pmc, "PM_DATA_FROM_L3");
+    EXPECT_EQ(u.memPmc(), "PM_DATA_FROM_MEM");
+}

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Tests for the workload generators: Table-2 suite pieces, SPEC
+ * proxies, extremes, DAXPY and stressmark construction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "microprobe/bootstrap.hh"
+#include "util/stats.hh"
+#include "workloads/daxpy.hh"
+#include "workloads/extremes.hh"
+#include "workloads/spec_proxies.hh"
+#include "workloads/stressmarks.hh"
+#include "workloads/suite.hh"
+
+using namespace mprobe;
+
+namespace
+{
+
+struct Fixture
+{
+    Architecture arch = Architecture::get("POWER7");
+    Machine machine{arch.isa()};
+};
+
+} // namespace
+
+TEST(IpcTargeting, HitsEasyTargets)
+{
+    Fixture f;
+    SuiteOptions opts;
+    opts.bodySize = 1024;
+    auto slow = f.arch.isa().select([](const InstrDef &d) {
+        return d.cls == InstrClass::IntSimple &&
+               (d.name.back() == '.' ||
+                d.name.rfind("cmp", 0) == 0 || d.name == "isel");
+    });
+    auto fast = f.arch.isa().select([&](const InstrDef &d) {
+        return d.cls == InstrClass::IntSimple &&
+               d.name.back() != '.' &&
+               d.name.rfind("cmp", 0) != 0 && d.name != "isel";
+    });
+    for (double target : {1.0, 2.0, 3.0}) {
+        GeneratedBench gb = generateIpcTargeted(
+            f.arch, f.machine, fast, slow, target, "t", opts);
+        EXPECT_NEAR(gb.achievedIpc, target, 0.25) << target;
+    }
+}
+
+TEST(IpcTargeting, SubUnityTargetsViaSlowMix)
+{
+    Fixture f;
+    SuiteOptions opts;
+    opts.bodySize = 1024;
+    auto fast = f.arch.isa().select([](const InstrDef &d) {
+        return d.cls == InstrClass::IntComplex &&
+               d.name.rfind("mul", 0) == 0;
+    });
+    auto slow = f.arch.isa().select([](const InstrDef &d) {
+        return d.cls == InstrClass::IntComplex &&
+               d.name.find("div") != std::string::npos;
+    });
+    GeneratedBench gb = generateIpcTargeted(
+        f.arch, f.machine, fast, slow, 0.3, "lowipc", opts);
+    EXPECT_NEAR(gb.achievedIpc, 0.3, 0.1);
+}
+
+TEST(Suite, SmallSuiteHasPaperStructure)
+{
+    Fixture f;
+    SuiteOptions opts;
+    opts.bodySize = 512;
+    opts.perMemoryGroup = 1;
+    opts.memoryCount = 2;
+    opts.randomCount = 6;
+    opts.ipcSearchBudget = 3;
+    opts.gaPopulation = 4;
+    opts.gaGenerations = 1;
+    opts.extendUnitMix = false; // exact paper structure
+    auto suite = generateTable2Suite(f.arch, f.machine, opts);
+
+    // 35 + 11 + 12 + 14 + 20 targeted + 14 groups + 2 memory + 6
+    // random.
+    EXPECT_EQ(suite.size(), 35u + 11 + 12 + 14 + 20 + 14 + 2 + 6);
+
+    std::set<std::string> groups;
+    size_t randoms = 0;
+    for (const auto &gb : suite) {
+        EXPECT_FALSE(gb.program.body.empty());
+        if (gb.category == BenchCategory::MemoryGroup)
+            groups.insert(gb.group);
+        randoms += gb.category == BenchCategory::Random;
+    }
+    EXPECT_EQ(groups.size(), 15u); // 14 + "Memory"
+    EXPECT_EQ(randoms, 6u);
+}
+
+TEST(Suite, MemoryGroupDistributionsHold)
+{
+    Fixture f;
+    SuiteOptions opts;
+    opts.bodySize = 1024;
+    opts.perMemoryGroup = 1;
+    opts.memoryCount = 1;
+    opts.randomCount = 0;
+    opts.ipcSearchBudget = 1;
+    opts.gaPopulation = 4;
+    opts.gaGenerations = 1;
+    auto suite = generateTable2Suite(f.arch, f.machine, opts);
+    for (const auto &gb : suite) {
+        if (gb.group != "Caches" && gb.group != "L1L2b")
+            continue;
+        RunResult r = f.machine.run(gb.program, ChipConfig{1, 1});
+        double tot = r.chip.l1Hits + r.chip.l2Hits + r.chip.l3Hits +
+                     r.chip.memAcc;
+        if (gb.group == "Caches") {
+            EXPECT_NEAR(r.chip.l1Hits / tot, 0.33, 0.02);
+            EXPECT_NEAR(r.chip.l2Hits / tot, 0.33, 0.02);
+            EXPECT_NEAR(r.chip.l3Hits / tot, 0.34, 0.02);
+        } else {
+            EXPECT_NEAR(r.chip.l1Hits / tot, 0.5, 0.02);
+            EXPECT_NEAR(r.chip.l2Hits / tot, 0.5, 0.02);
+        }
+    }
+}
+
+TEST(SpecProxies, TwentyEightDistinctWorkloads)
+{
+    Fixture f;
+    auto proxies = generateSpecProxies(f.arch, 512);
+    EXPECT_EQ(proxies.size(), 28u);
+    std::set<std::string> names;
+    for (const auto &p : proxies) {
+        names.insert(p.name);
+        EXPECT_EQ(p.body.size(), 512u);
+    }
+    EXPECT_EQ(names.size(), 28u);
+    EXPECT_TRUE(names.count("mcf"));
+    EXPECT_TRUE(names.count("xalancbmk"));
+}
+
+TEST(SpecProxies, MemoryBoundVsComputeBoundDiffer)
+{
+    Fixture f;
+    Program mcf, namd;
+    for (const auto &r : specRecipes()) {
+        if (r.name == "mcf")
+            mcf = generateSpecProxy(f.arch, r, 1024, 1);
+        if (r.name == "namd")
+            namd = generateSpecProxy(f.arch, r, 1024, 2);
+    }
+    RunResult rm = f.machine.run(mcf, {1, 1});
+    RunResult rn = f.machine.run(namd, {1, 1});
+    // namd is compute bound: higher IPC, almost no memory traffic.
+    EXPECT_GT(rn.coreIpc, rm.coreIpc);
+    double mcf_mem = rm.chip.memAcc / rm.chip.instrs;
+    double namd_mem = rn.chip.memAcc / rn.chip.instrs;
+    EXPECT_GT(mcf_mem, 5.0 * std::max(namd_mem, 1e-6));
+}
+
+TEST(SpecProxies, RecipesAreNormalizedMemDistributions)
+{
+    for (const auto &r : specRecipes()) {
+        EXPECT_NEAR(r.l1 + r.l2 + r.l3 + r.mem, 1.0, 1e-6)
+            << r.name;
+    }
+}
+
+TEST(Extremes, SixCasesWithExpectedBehaviour)
+{
+    Fixture f;
+    auto cases = generateExtremeCases(f.arch, 1024);
+    ASSERT_EQ(cases.size(), 6u);
+
+    std::map<std::string, RunResult> runs;
+    for (const auto &c : cases)
+        runs.emplace(c.name, f.machine.run(c.program, {1, 1}));
+
+    // High > Low activity for both units.
+    EXPECT_GT(runs.at("FXU High").coreIpc,
+              2.0 * runs.at("FXU Low").coreIpc);
+    EXPECT_GT(runs.at("VSU High").coreIpc,
+              2.0 * runs.at("VSU Low").coreIpc);
+    // L1 Loads: pure L1 traffic.
+    const auto &l1 = runs.at("L1 Loads");
+    EXPECT_GT(l1.chip.l1Hits, 0.0);
+    EXPECT_EQ(l1.chip.memAcc, 0.0);
+    // Main memory: dominated by DRAM accesses.
+    const auto &mm = runs.at("Main memory");
+    EXPECT_GT(mm.chip.memAcc, 0.0);
+    EXPECT_LT(mm.coreIpc, 0.2);
+    // FXU high stresses FXU, VSU high stresses VSU.
+    EXPECT_GT(runs.at("FXU High").chip.fxuOps /
+                  runs.at("FXU High").chip.instrs,
+              0.5);
+    EXPECT_GT(runs.at("VSU High").chip.vsuOps /
+                  runs.at("VSU High").chip.instrs,
+              0.9);
+}
+
+TEST(Daxpy, KernelShapeAndResidency)
+{
+    Fixture f;
+    Program d = generateDaxpy(f.arch, 8 * 1024, false, 1024);
+    EXPECT_EQ(d.streams.size(), 2u);
+    RunResult r = f.machine.run(d, {1, 1});
+    // L1-contained: after warm-up nearly all accesses hit the L1.
+    double tot = r.chip.l1Hits + r.chip.l2Hits + r.chip.l3Hits +
+                 r.chip.memAcc;
+    EXPECT_GT(r.chip.l1Hits / tot, 0.95);
+    // Loads and stores both present.
+    EXPECT_GT(r.chip.stores, 0.0);
+    EXPECT_GT(r.chip.loads, r.chip.stores);
+}
+
+TEST(Daxpy, SetCoversScalarAndVector)
+{
+    Fixture f;
+    auto set = generateDaxpySet(f.arch, 512);
+    EXPECT_EQ(set.size(), 6u);
+    std::set<std::string> names;
+    for (const auto &p : set)
+        names.insert(p.name);
+    EXPECT_TRUE(names.count("daxpy-8K"));
+    EXPECT_TRUE(names.count("daxpy-vsx-16K"));
+}
+
+TEST(Stressmarks, BuildReplicatesSequence)
+{
+    Fixture f;
+    auto picks = expertPicks(f.arch);
+    Program p = buildStressmark(f.arch, picks, "s", 512);
+    EXPECT_EQ(p.body[0].op, picks[0]);
+    EXPECT_EQ(p.body[1].op, picks[1]);
+    EXPECT_EQ(p.body[2].op, picks[2]);
+    EXPECT_EQ(p.body[3].op, picks[0]);
+    // All memory accesses L1-resident, no dependencies.
+    RunResult r = f.machine.run(p, {1, 1});
+    EXPECT_EQ(r.chip.memAcc, 0.0);
+    EXPECT_EQ(r.chip.l2Hits, 0.0);
+}
+
+TEST(Stressmarks, ExpertManualSetRuns)
+{
+    Fixture f;
+    auto set = expertManualSet(f.arch, 512);
+    EXPECT_EQ(set.size(), 6u);
+    for (const auto &p : set) {
+        RunResult r = f.machine.run(p, {8, 4});
+        EXPECT_GT(r.sensorWatts, f.machine.idleWatts({8, 4}));
+    }
+}
+
+TEST(Stressmarks, MicroprobePicksMatchPaperSelection)
+{
+    // With the bootstrap done, the IPC*EPI heuristic must select
+    // the paper's Table-3 toppers: mulldo, lxvw4x, xvnmsubmdp.
+    Fixture f;
+    BootstrapOptions opts;
+    opts.bodySize = 512;
+    bootstrapArchitecture(f.arch, f.machine, opts);
+    auto picks = microprobePicks(f.arch);
+    ASSERT_EQ(picks.size(), 3u);
+    EXPECT_EQ(f.arch.isa().at(picks[0]).name, "mulldo");
+    EXPECT_EQ(f.arch.isa().at(picks[1]).name, "lxvw4x");
+    EXPECT_EQ(f.arch.isa().at(picks[2]).name, "xvnmsubmdp");
+}
+
+TEST(Stressmarks, ExplorationCovers540AndFindsSpread)
+{
+    Fixture f;
+    auto triple = expertPicks(f.arch);
+    StressmarkExploration ex = exploreSequences(
+        f.arch, f.machine, triple, ChipConfig{8, 4}, 6, 504);
+    EXPECT_EQ(ex.evaluations, 540u);
+    EXPECT_EQ(ex.powers.size(), 540u);
+    EXPECT_DOUBLE_EQ(ex.bestPower, maxOf(ex.powers));
+    // Same mix, different order: a measurable power spread
+    // (the paper reports up to 17%).
+    double spread = (maxOf(ex.powers) - minOf(ex.powers)) /
+                    maxOf(ex.powers);
+    EXPECT_GT(spread, 0.05);
+    EXPECT_EQ(ex.bestSeq.size(), 6u);
+}

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * mprobe-gen: generate micro-benchmarks from the command line.
+ *
+ *   mprobe-gen --arch POWER7 --class loads --mem 0.33,0.33,0.34,0 \
+ *              --dep random:1:32 --count 10 --out ./out
+ *
+ * Produces `ubench-<n>.c` files (and optionally runs each one on
+ * the simulated machine to report its counters).
+ */
+
+#include <iostream>
+
+#include "microprobe/emitter.hh"
+#include "microprobe/passes.hh"
+#include "microprobe/synthesizer.hh"
+#include "sim/machine.hh"
+#include "util/args.hh"
+#include "util/logging.hh"
+#include "util/str.hh"
+
+using namespace mprobe;
+
+namespace
+{
+
+std::vector<Isa::OpIndex>
+candidatesFor(const Isa &isa, const std::string &cls)
+{
+    if (cls == "loads")
+        return isa.loads();
+    if (cls == "stores")
+        return isa.stores();
+    if (cls == "memory")
+        return isa.memoryOps();
+    if (cls == "integer")
+        return isa.integerOps();
+    if (cls == "fpvector")
+        return isa.fpVectorOps();
+    if (cls == "all")
+        return isa.select([](const InstrDef &d) {
+            return !d.privileged && !d.isBranch();
+        });
+    // Otherwise a comma-separated mnemonic list.
+    std::vector<Isa::OpIndex> out;
+    for (const auto &name : split(cls, ','))
+        out.push_back(isa.find(trim(name)));
+    for (auto op : out)
+        if (op < 0)
+            fatal(cat("unknown instruction in --class '", cls,
+                      "'"));
+    return out;
+}
+
+DependencyDistancePass
+depPassFor(const std::string &spec)
+{
+    auto parts = split(spec, ':');
+    if (parts[0] == "none")
+        return DependencyDistancePass::none();
+    if (parts[0] == "chain")
+        return DependencyDistancePass::chain();
+    if (parts[0] == "fixed" && parts.size() == 2)
+        return DependencyDistancePass::fixed(static_cast<int>(
+            parseInt(parts[1], "--dep")));
+    if (parts[0] == "random" && parts.size() == 3)
+        return DependencyDistancePass::random(
+            static_cast<int>(parseInt(parts[1], "--dep")),
+            static_cast<int>(parseInt(parts[2], "--dep")));
+    fatal(cat("bad --dep spec '", spec,
+              "' (none|chain|fixed:N|random:LO:HI)"));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args;
+    args.addOption("arch", "POWER7", "target architecture name");
+    args.addOption("class", "integer",
+                   "candidate set: loads|stores|memory|integer|"
+                   "fpvector|all or comma-separated mnemonics");
+    args.addOption("size", "4096", "loop body size");
+    args.addOption("mem", "",
+                   "L1,L2,L3,MEM hit distribution for memory ops "
+                   "(e.g. 0.33,0.33,0.34,0)");
+    args.addOption("dep", "random:1:32",
+                   "dependency distances: none|chain|fixed:N|"
+                   "random:LO:HI");
+    args.addOption("data", "random",
+                   "register/immediate init: zero|pattern|random");
+    args.addOption("count", "1", "number of benchmarks");
+    args.addOption("seed", "1", "generation seed");
+    args.addOption("out", ".", "output directory");
+    args.addFlag("run", "also run each benchmark (1 core, SMT-1) "
+                        "and print counters");
+    args.addFlag("quiet", "suppress status messages");
+    args.parse(argc, argv,
+               "Generate MicroProbe micro-benchmarks as C files.");
+
+    if (args.getFlag("quiet"))
+        setLogLevel(LogLevel::Quiet);
+
+    Architecture arch = Architecture::get(args.get("arch"));
+    auto cands = candidatesFor(arch.isa(), args.get("class"));
+
+    DataPattern pat = DataPattern::Random;
+    if (args.get("data") == "zero")
+        pat = DataPattern::Zero;
+    else if (args.get("data") == "pattern")
+        pat = DataPattern::Alt01;
+    else if (args.get("data") != "random")
+        fatal("--data must be zero|pattern|random");
+
+    Synthesizer synth(arch,
+                      static_cast<uint64_t>(args.getInt("seed")));
+    synth.addPass<SkeletonPass>(
+        static_cast<size_t>(args.getInt("size")));
+    synth.addPass<InstructionMixPass>(cands);
+    if (!args.get("mem").empty()) {
+        auto f = split(args.get("mem"), ',');
+        if (f.size() != 4)
+            fatal("--mem needs four comma-separated shares");
+        MemDistribution d{parseDouble(f[0], "--mem"),
+                          parseDouble(f[1], "--mem"),
+                          parseDouble(f[2], "--mem"),
+                          parseDouble(f[3], "--mem")};
+        synth.addPass<MemoryModelPass>(d);
+    }
+    synth.addPass<RegisterInitPass>(pat);
+    synth.addPass<ImmediateInitPass>(pat);
+    synth.add(std::make_unique<DependencyDistancePass>(
+        depPassFor(args.get("dep"))));
+
+    Machine machine(arch.isa());
+    long count = args.getInt("count");
+    for (long i = 1; i <= count; ++i) {
+        Program p = synth.synthesize();
+        std::string path =
+            args.get("out") + "/" + p.name + ".c";
+        saveC(p, path);
+        std::cout << "wrote " << path << "\n";
+        if (args.getFlag("run")) {
+            RunResult r = machine.run(p, ChipConfig{1, 1});
+            double tot = r.chip.l1Hits + r.chip.l2Hits +
+                         r.chip.l3Hits + r.chip.memAcc;
+            std::cout << "  ipc " << r.coreIpc << "  power "
+                      << r.sensorWatts << " W";
+            if (tot > 0)
+                std::cout << "  L1/L2/L3/MEM "
+                          << r.chip.l1Hits / tot << "/"
+                          << r.chip.l2Hits / tot << "/"
+                          << r.chip.l3Hits / tot << "/"
+                          << r.chip.memAcc / tot;
+            std::cout << "\n";
+        }
+    }
+    return 0;
+}
