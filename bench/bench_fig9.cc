@@ -10,6 +10,7 @@
 #include <cmath>
 
 #include "bench/common.hh"
+#include "campaign/campaign.hh"
 #include "util/table.hh"
 #include "workloads/daxpy.hh"
 #include "workloads/spec_proxies.hh"
@@ -27,18 +28,25 @@ main()
     BenchContext ctx; // bootstraps: the MicroProbe picks need EPIs
 
     const size_t body = fastMode() ? 1024 : 4096;
-    const std::vector<int> smt_modes = {1, 2, 4};
+    const std::vector<ChipConfig> smt_configs = {
+        {8, 1}, {8, 2}, {8, 4}};
+
+    // Fixed benchmark sets (SPEC baseline, DAXPY, Expert manual)
+    // deploy through the campaign engine: one parallel cached pass
+    // instead of hand-rolled run loops.
+    Campaign campaign(ctx.machine, benchCampaignSpec());
+    auto powers_of = [&](const std::vector<Program> &progs) {
+        std::vector<double> powers;
+        for (const auto &s : campaign.measure(progs, smt_configs))
+            powers.push_back(s.powerWatts);
+        return powers;
+    };
 
     // Baseline: maximum power over the whole SPEC proxy suite in
     // every SMT mode at 8 cores ("the maximum power seen during
     // the full-suite SPEC 2006 execution").
-    double spec_max = 0.0;
-    for (const auto &p : generateSpecProxies(ctx.arch, body))
-        for (int smt : smt_modes)
-            spec_max = std::max(
-                spec_max,
-                ctx.machine.run(p, ChipConfig{8, smt})
-                    .sensorWatts);
+    double spec_max =
+        maxOf(powers_of(generateSpecProxies(ctx.arch, body)));
 
     struct SetResult
     {
@@ -50,35 +58,24 @@ main()
     std::vector<SetResult> sets;
 
     // DAXPY kernels.
-    {
-        SetResult r{"DAXPY", {}, {}, 0};
-        for (const auto &p : generateDaxpySet(ctx.arch, body))
-            for (int smt : smt_modes)
-                r.powers.push_back(
-                    ctx.machine.run(p, ChipConfig{8, smt})
-                        .sensorWatts);
-        sets.push_back(std::move(r));
-    }
+    sets.push_back({"DAXPY",
+                    powers_of(generateDaxpySet(ctx.arch, body)),
+                    {},
+                    0});
 
     // Expert manual orderings.
-    {
-        SetResult r{"Expert manual", {}, {}, 0};
-        for (const auto &p : expertManualSet(ctx.arch, body))
-            for (int smt : smt_modes)
-                r.powers.push_back(
-                    ctx.machine.run(p, ChipConfig{8, smt})
-                        .sensorWatts);
-        sets.push_back(std::move(r));
-    }
+    sets.push_back({"Expert manual",
+                    powers_of(expertManualSet(ctx.arch, body)),
+                    {},
+                    0});
 
     // Expert DSE: exhaustive 540-point exploration per SMT mode.
     auto explore = [&](const std::vector<Isa::OpIndex> &triple,
                        const std::string &name) {
         SetResult r{name, {}, {}, 0};
-        for (int smt : smt_modes) {
+        for (const ChipConfig &cfg : smt_configs) {
             StressmarkExploration ex = exploreSequences(
-                ctx.arch, ctx.machine, triple,
-                ChipConfig{8, smt}, 6, body);
+                ctx.arch, ctx.machine, triple, cfg, 6, body);
             r.powers.insert(r.powers.end(), ex.powers.begin(),
                             ex.powers.end());
             r.ipcs.insert(r.ipcs.end(), ex.ipcs.begin(),
@@ -149,10 +146,8 @@ main()
             ctx.arch, {mp_picks[1]}, "het-lsu", body);
         Program vsu = buildStressmark(
             ctx.arch, {mp_picks[2]}, "het-vsu", body);
-        Program best = buildStressmark(
-            ctx.arch, sets[3].powers.empty() ? mp_picks
-                                             : mp_picks,
-            "hom-best", body);
+        Program best =
+            buildStressmark(ctx.arch, mp_picks, "hom-best", body);
         ExecModel exec(ctx.arch.isa());
         CoreSimOptions so = ctx.machine.simOptions();
         CoreResult hom = simulateCoreHetero(

@@ -10,6 +10,7 @@
 #include <map>
 
 #include "bench/common.hh"
+#include "campaign/campaign.hh"
 #include "util/table.hh"
 
 using namespace mprobe;
@@ -173,7 +174,8 @@ main()
         Isa::OpIndex op = ctx.arch.isa().find("xvmaddadp");
         BootstrapEntry rnd =
             bootstrapInstruction(ctx.arch, ctx.machine, op, bo);
-        // Zero-toggle variant of the same probe benchmark.
+        // Zero-toggle variant of the same probe benchmark,
+        // deployed through the campaign engine.
         Program p;
         p.isa = &ctx.arch.isa();
         p.name = "zero-data-xvmaddadp";
@@ -181,10 +183,11 @@ main()
             p.body.push_back({op, 0, -1, 0.0f, 1.0f});
         p.body.push_back({ctx.arch.isa().find("bdnz"), 0, -1,
                           0.0f, 1.0f});
-        RunResult r = ctx.machine.run(p, ChipConfig{8, 1});
+        Campaign campaign(ctx.machine, benchCampaignSpec());
+        Sample s = campaign.measure({p}, {ChipConfig{8, 1}}).at(0);
         double idle = ctx.machine.idleWatts(ChipConfig{8, 1});
-        double epi_zero = (r.sensorWatts - idle) /
-                          r.rate(r.chip.instrs) * 1e9;
+        // W / (Ginstr/s) = nJ per instruction.
+        double epi_zero = (s.powerWatts - idle) / s.instrGips;
         std::cout << "Zero-input-data EPI reduction for "
                      "xvmaddadp: "
                   << TextTable::num(

@@ -16,6 +16,7 @@
 #include <iostream>
 #include <string>
 
+#include "campaign/spec.hh"
 #include "microprobe/bootstrap.hh"
 #include "util/logging.hh"
 #include "workloads/pipeline.hh"
@@ -77,6 +78,22 @@ paperPipelineOptions()
         po.bodySize = 4096;
     }
     return po;
+}
+
+/**
+ * Measurement-only campaign spec for the benches: auto worker
+ * count, result cache from MPROBE_CACHE_DIR (so re-generating a
+ * figure reuses every already-measured point), no suite generation.
+ */
+inline CampaignSpec
+benchCampaignSpec()
+{
+    CampaignSpec spec;
+    spec.suiteEnabled = false;
+    spec.bootstrap = false;
+    if (const char *d = std::getenv("MPROBE_CACHE_DIR"))
+        spec.cacheDir = d;
+    return spec;
 }
 
 /** Print the bench banner. */

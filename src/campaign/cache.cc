@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Result-cache implementation.
+ */
+
+#include "campaign/cache.hh"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "util/logging.hh"
+#include "util/str.hh"
+
+namespace mprobe
+{
+
+namespace fs = std::filesystem;
+
+std::string
+sampleToText(const Sample &s)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << "workload " << s.workload << "\n"
+       << "config " << s.config.cores << "-" << s.config.smt << "\n"
+       << "rates";
+    for (double r : s.rates)
+        os << " " << r;
+    os << "\n"
+       << "power " << s.powerWatts << "\n"
+       << "gips " << s.instrGips << "\n"
+       << "ipc " << s.coreIpc << "\n";
+    return os.str();
+}
+
+bool
+sampleFromText(const std::string &text, Sample &out)
+{
+    std::istringstream in(text);
+    std::string line;
+    bool saw_workload = false, saw_config = false, saw_power = false;
+    bool saw_gips = false, saw_ipc = false;
+    while (std::getline(in, line)) {
+        std::string s = trim(line);
+        if (s.empty())
+            continue;
+        auto sp = s.find(' ');
+        std::string key = s.substr(0, sp);
+        std::string val =
+            sp == std::string::npos ? "" : trim(s.substr(sp + 1));
+        try {
+            if (key == "workload") {
+                out.workload = val;
+                saw_workload = true;
+            } else if (key == "config") {
+                auto parts = split(val, '-');
+                if (parts.size() != 2)
+                    return false;
+                out.config.cores = std::stoi(parts[0]);
+                out.config.smt = std::stoi(parts[1]);
+                saw_config = true;
+            } else if (key == "rates") {
+                out.rates.clear();
+                for (const auto &r : splitWs(val))
+                    out.rates.push_back(std::stod(r));
+            } else if (key == "power") {
+                out.powerWatts = std::stod(val);
+                saw_power = true;
+            } else if (key == "gips") {
+                out.instrGips = std::stod(val);
+                saw_gips = true;
+            } else if (key == "ipc") {
+                out.coreIpc = std::stod(val);
+                saw_ipc = true;
+            } else {
+                return false;
+            }
+        } catch (const std::exception &) {
+            return false;
+        }
+    }
+    // Every field is required: a file truncated mid-write must
+    // parse as corrupt (-> cache miss), not as a zero-filled hit.
+    return saw_workload && saw_config && saw_power && saw_gips &&
+           saw_ipc &&
+           out.rates.size() == dynamicFeatureNames().size();
+}
+
+ResultCache::ResultCache(std::string d) : dir(std::move(d))
+{
+    if (dir.empty())
+        return;
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec)
+        fatal(cat("cannot create cache directory '", dir, "': ",
+                  ec.message()));
+}
+
+std::string
+ResultCache::pathOf(uint64_t key) const
+{
+    char name[32];
+    std::snprintf(name, sizeof name, "%016llx.sample",
+                  static_cast<unsigned long long>(key));
+    return dir + "/" + name;
+}
+
+bool
+ResultCache::lookup(uint64_t key, Sample &out)
+{
+    if (!enabled()) {
+        ++nMisses;
+        return false;
+    }
+    std::ifstream f(pathOf(key));
+    if (!f) {
+        ++nMisses;
+        return false;
+    }
+    std::ostringstream os;
+    os << f.rdbuf();
+    Sample s;
+    if (!sampleFromText(os.str(), s)) {
+        warn(cat("result cache: corrupt entry ", pathOf(key),
+                 " ignored"));
+        ++nMisses;
+        return false;
+    }
+    out = std::move(s);
+    ++nHits;
+    return true;
+}
+
+void
+ResultCache::store(uint64_t key, const Sample &s) const
+{
+    if (!enabled())
+        return;
+    // Write-then-rename so concurrent writers and interrupted runs
+    // never leave a torn file under the final name. The temp name
+    // carries pid + thread so writers in different processes
+    // sharing one cache directory never collide; racing writers of
+    // one key write identical content, so last-rename-wins is
+    // harmless.
+    std::string final_path = pathOf(key);
+    std::ostringstream tmp_name;
+    tmp_name << final_path << ".tmp." << ::getpid() << "."
+             << std::hash<std::thread::id>{}(
+                    std::this_thread::get_id());
+    {
+        std::ofstream f(tmp_name.str());
+        if (!f) {
+            warn(cat("result cache: cannot write ", tmp_name.str()));
+            return;
+        }
+        f << sampleToText(s);
+        f.close();
+        if (!f) {
+            // Short write (e.g. disk full): never publish it — a
+            // truncated-but-parseable file would replay a wrong
+            // sample forever.
+            warn(cat("result cache: short write, dropping ",
+                     tmp_name.str()));
+            std::error_code ec;
+            fs::remove(tmp_name.str(), ec);
+            return;
+        }
+    }
+    std::error_code ec;
+    fs::rename(tmp_name.str(), final_path, ec);
+    if (ec)
+        warn(cat("result cache: cannot publish ", final_path, ": ",
+                 ec.message()));
+}
+
+} // namespace mprobe

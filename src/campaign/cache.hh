@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Content-hash-keyed on-disk result cache.
+ *
+ * Every campaign job is identified by a 64-bit content hash of
+ * everything that determines its measurement: the full program
+ * content (instructions, dependencies, streams, data patterns,
+ * name), the chip configuration, the machine fingerprint and the
+ * campaign salt. A completed job stores its Sample under that key;
+ * re-runs and resumed campaigns look the key up first and skip the
+ * simulation on a hit — the measured point is, by construction, the
+ * one the simulation would reproduce.
+ *
+ * The store is a flat directory of small text files (one per
+ * sample, named <key>.sample, written atomically via rename), so it
+ * is safe for concurrent writers and survives interrupted runs.
+ */
+
+#ifndef CAMPAIGN_CACHE_HH
+#define CAMPAIGN_CACHE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "power/sample.hh"
+
+namespace mprobe
+{
+
+/**
+ * Cache schema/semantics version, mixed into every job key. Bump it
+ * whenever the sample format or anything the simulator computes
+ * changes in a way the machine fingerprint cannot observe (e.g. the
+ * hidden energy tables in exec_model.cc), so stale caches miss
+ * instead of replaying outdated results.
+ */
+constexpr uint64_t kCacheSchemaVersion = 1;
+
+/** Serialize a sample to the cache's text representation. */
+std::string sampleToText(const Sample &s);
+
+/**
+ * Parse a serialized sample. Returns false (leaving @p out
+ * partially filled) on malformed input — callers treat that as a
+ * cache miss rather than an error.
+ */
+bool sampleFromText(const std::string &text, Sample &out);
+
+/** Thread-safe directory-backed sample cache. */
+class ResultCache
+{
+  public:
+    /**
+     * Open (creating if needed) the cache at @p dir. An empty dir
+     * disables the cache: lookups miss, stores are dropped.
+     */
+    explicit ResultCache(std::string dir);
+
+    bool enabled() const { return !dir.empty(); }
+
+    /**
+     * Look up @p key; fills @p out and returns true on a hit.
+     * Counts toward hits()/misses().
+     */
+    bool lookup(uint64_t key, Sample &out);
+
+    /** Store a completed measurement under @p key. */
+    void store(uint64_t key, const Sample &s) const;
+
+    /** @name Statistics (since construction) */
+    /**@{*/
+    size_t hits() const { return nHits.load(); }
+    size_t misses() const { return nMisses.load(); }
+    /**@}*/
+
+    /** Path of a key's sample file (tests/debugging). */
+    std::string pathOf(uint64_t key) const;
+
+  private:
+    std::string dir;
+    std::atomic<size_t> nHits{0};
+    std::atomic<size_t> nMisses{0};
+};
+
+} // namespace mprobe
+
+#endif // CAMPAIGN_CACHE_HH

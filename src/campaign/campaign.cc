@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Campaign engine implementation.
+ */
+
+#include "campaign/campaign.hh"
+
+#include <algorithm>
+#include <thread>
+
+#include "campaign/queue.hh"
+#include "microprobe/bootstrap.hh"
+#include "util/hash.hh"
+#include "util/logging.hh"
+#include "workloads/daxpy.hh"
+#include "workloads/extremes.hh"
+#include "workloads/spec_proxies.hh"
+
+namespace mprobe
+{
+
+uint64_t
+campaignJobKey(const Program &prog, const ChipConfig &cfg,
+               uint64_t machine_fingerprint, uint64_t salt)
+{
+    Hasher h;
+    h.add(kCacheSchemaVersion);
+    h.add(machine_fingerprint).add(salt);
+    h.add(cfg.cores).add(cfg.smt);
+    // The sensor-noise seed hashes the program name, so the name is
+    // result-relevant and must be part of the key.
+    h.add(prog.name);
+    h.add(prog.body.size());
+    for (const auto &pi : prog.body) {
+        h.add(pi.op).add(pi.depDist).add(pi.stream);
+        h.add(static_cast<double>(pi.toggle));
+        h.add(static_cast<double>(pi.takenRate));
+    }
+    h.add(prog.streams.size());
+    for (const auto &st : prog.streams) {
+        h.add(st.lines.size());
+        for (uint64_t line : st.lines)
+            h.add(line);
+    }
+    return h.digest();
+}
+
+Campaign::Campaign(const Machine &m, CampaignSpec s)
+    : machine(m), spec(std::move(s)), cache(spec.cacheDir),
+      machineFp(m.fingerprint())
+{
+    if (spec.threads < 0)
+        fatal("campaign: threads must be >= 0 (0 = auto)");
+    if (spec.threads == 0)
+        spec.threads = static_cast<int>(std::max(
+            1u, std::thread::hardware_concurrency()));
+    if (spec.configs.empty())
+        fatal("campaign: no configurations to deploy on");
+    // A restriction set on spec.categories reaches the suite
+    // generator without the caller having to mirror it into
+    // suite.categories; one set directly on SuiteOptions is left
+    // alone.
+    if (!spec.categories.empty())
+        spec.suite.categories = spec.categories;
+}
+
+std::vector<CampaignWorkload>
+Campaign::expandWorkloads(Architecture &arch)
+{
+    std::vector<CampaignWorkload> out;
+
+    if (spec.suiteEnabled) {
+        if (spec.bootstrap) {
+            inform("campaign: bootstrapping the architecture");
+            BootstrapOptions bo;
+            bo.bodySize = spec.suite.bodySize;
+            bo.seed = spec.suite.seed ^ 0xb007ull;
+            bootstrapArchitecture(arch, machine, bo);
+        }
+        inform("campaign: generating suite workloads");
+        for (auto &gb : generateTable2Suite(arch, machine,
+                                            spec.suite)) {
+            CampaignWorkload w;
+            w.source = benchCategoryName(gb.category);
+            w.group = gb.group;
+            w.program = std::move(gb.program);
+            out.push_back(std::move(w));
+        }
+    }
+    if (spec.specProxies) {
+        inform("campaign: generating SPEC proxies");
+        for (auto &p : generateSpecProxies(arch, spec.suite.bodySize,
+                                           spec.suite.seed)) {
+            CampaignWorkload w;
+            w.source = "SPEC";
+            w.program = std::move(p);
+            out.push_back(std::move(w));
+        }
+    }
+    if (spec.daxpy) {
+        inform("campaign: generating DAXPY kernels");
+        for (auto &p : generateDaxpySet(arch, spec.suite.bodySize)) {
+            CampaignWorkload w;
+            w.source = "DAXPY";
+            w.program = std::move(p);
+            out.push_back(std::move(w));
+        }
+    }
+    if (spec.extremes) {
+        inform("campaign: generating extreme cases");
+        for (auto &e : generateExtremeCases(arch,
+                                            spec.suite.bodySize,
+                                            spec.suite.seed)) {
+            CampaignWorkload w;
+            w.source = "Extreme";
+            w.group = e.name;
+            w.program = std::move(e.program);
+            out.push_back(std::move(w));
+        }
+    }
+    if (out.empty())
+        fatal("campaign: spec expanded to no workloads");
+    return out;
+}
+
+std::vector<Sample>
+Campaign::measureJobs(const std::vector<CampaignWorkload> &workloads,
+                      const std::vector<ChipConfig> &configs,
+                      std::vector<CampaignJob> &jobs)
+{
+    if (configs.empty())
+        fatal("campaign: no configurations to deploy on");
+    jobs.clear();
+    jobs.reserve(workloads.size() * configs.size());
+    for (size_t w = 0; w < workloads.size(); ++w)
+        for (const auto &cfg : configs)
+            jobs.push_back(
+                {w, cfg,
+                 campaignJobKey(workloads[w].program, cfg,
+                                machineFp, spec.salt)});
+
+    inform(cat("campaign: measuring ", jobs.size(), " jobs (",
+               workloads.size(), " workloads x ",
+               configs.size(), " configs) on ", spec.threads,
+               spec.threads == 1 ? " thread" : " threads"));
+
+    // Each job writes only its own slot: no result synchronization,
+    // and sample order is scheduling-independent by construction.
+    std::vector<Sample> samples(jobs.size());
+    parallelFor(spec.threads, jobs.size(), [&](size_t i) {
+        const CampaignJob &job = jobs[i];
+        Sample s;
+        if (cache.lookup(job.key, s)) {
+            samples[i] = std::move(s);
+            return;
+        }
+        const Program &prog =
+            workloads[job.workload].program;
+        // The measurement salt derives from the job's content hash,
+        // never from scheduling, so repeated sensor noise matches
+        // the serial reference run and the cache exactly.
+        uint64_t salt = hashCombine(job.key, 0x5a17ull);
+        samples[i] =
+            makeSample(prog.name,
+                       machine.run(prog, job.config, salt));
+        cache.store(job.key, samples[i]);
+    });
+    return samples;
+}
+
+CampaignResult
+Campaign::run(Architecture &arch)
+{
+    CampaignResult res;
+    res.workloads = expandWorkloads(arch);
+    size_t hits0 = cache.hits(), misses0 = cache.misses();
+    res.samples = measureJobs(res.workloads, spec.configs, res.jobs);
+    res.cacheHits = cache.hits() - hits0;
+    res.cacheMisses = cache.misses() - misses0;
+    inform(cat("campaign: done; cache ", res.cacheHits, " hits / ",
+               res.cacheMisses, " misses"));
+    return res;
+}
+
+std::vector<Sample>
+Campaign::measure(const std::vector<Program> &programs,
+                  const std::vector<ChipConfig> &configs)
+{
+    std::vector<CampaignWorkload> workloads;
+    workloads.reserve(programs.size());
+    for (const auto &p : programs) {
+        CampaignWorkload w;
+        w.program = p;
+        w.source = "adhoc";
+        workloads.push_back(std::move(w));
+    }
+    std::vector<CampaignJob> jobs;
+    return measureJobs(workloads, configs, jobs);
+}
+
+} // namespace mprobe

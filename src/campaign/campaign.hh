@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Parallel experiment-campaign engine.
+ *
+ * The paper's methodology is a campaign: generate a micro-benchmark
+ * corpus, deploy every benchmark on every CMP/SMT configuration,
+ * collect (activity rates, power) samples, feed them to the models.
+ * This module runs that campaign as a unit of its own: a
+ * CampaignSpec expands into independent (workload, configuration)
+ * jobs which execute on a work-queue thread pool, with every
+ * completed measurement stored in a content-hash-keyed on-disk
+ * cache so re-runs and resumed campaigns skip already-measured
+ * points.
+ *
+ * Determinism: each job derives its measurement salt from its own
+ * content hash, never from execution order, so a campaign produces
+ * bit-identical samples at any worker count — and a cached sample
+ * is exactly what re-simulation would yield.
+ */
+
+#ifndef CAMPAIGN_CAMPAIGN_HH
+#define CAMPAIGN_CAMPAIGN_HH
+
+#include <string>
+#include <vector>
+
+#include "campaign/cache.hh"
+#include "campaign/spec.hh"
+#include "microprobe/arch.hh"
+#include "power/sample.hh"
+
+namespace mprobe
+{
+
+/** One expanded measurement point. */
+struct CampaignJob
+{
+    /** Index into the campaign's workload list. */
+    size_t workload = 0;
+    ChipConfig config;
+    /** Content hash: program + config + machine + salt. */
+    uint64_t key = 0;
+};
+
+/** A generated workload with its provenance. */
+struct CampaignWorkload
+{
+    Program program;
+    /** Source label: a Table-2 category name, "SPEC", "DAXPY" or
+     * "Extreme". */
+    std::string source;
+    /** Sub-group within the source (e.g. "L1L2a"), if any. */
+    std::string group;
+};
+
+/** Everything a campaign run produces. */
+struct CampaignResult
+{
+    /** One sample per job, in job order (workload-major). */
+    std::vector<Sample> samples;
+    /** The generated corpus the samples cover. */
+    std::vector<CampaignWorkload> workloads;
+    /** Executed jobs (parallel to samples). */
+    std::vector<CampaignJob> jobs;
+    /** Cache statistics of this run. */
+    size_t cacheHits = 0;
+    size_t cacheMisses = 0;
+};
+
+/**
+ * Content hash of one measurement point. Covers every Program field
+ * the simulator reads plus the configuration, the machine
+ * fingerprint and the campaign salt.
+ */
+uint64_t campaignJobKey(const Program &prog, const ChipConfig &cfg,
+                        uint64_t machine_fingerprint,
+                        uint64_t salt);
+
+/** The engine: expansion, scheduling, caching, collection. */
+class Campaign
+{
+  public:
+    /**
+     * Bind the engine to a machine and a spec. The machine must
+     * outlive the campaign; its simOptions() must not be mutated
+     * while run()/measure() execute (worker threads read them).
+     */
+    Campaign(const Machine &machine, CampaignSpec spec);
+
+    /**
+     * Run the full campaign: generate the spec's workloads (suite
+     * generation bootstraps @p arch first when the spec says so),
+     * expand jobs, measure them on the pool, export-ready samples
+     * out. Generation is serial and deterministic; only the
+     * embarrassingly parallel measurement phase fans out.
+     */
+    CampaignResult run(Architecture &arch);
+
+    /**
+     * Lower-level entry: measure an explicit workload list across
+     * @p configs with the engine's pool and cache, in deterministic
+     * (workload-major) order. Figure/table benches use this for
+     * their hand-rolled measurement loops.
+     */
+    std::vector<Sample>
+    measure(const std::vector<Program> &programs,
+            const std::vector<ChipConfig> &configs);
+
+    /** Cache statistics accumulated across run()/measure() calls. */
+    size_t cacheHits() const { return cache.hits(); }
+    size_t cacheMisses() const { return cache.misses(); }
+
+    const CampaignSpec &specRef() const { return spec; }
+
+  private:
+    const Machine &machine;
+    CampaignSpec spec;
+    ResultCache cache;
+    uint64_t machineFp;
+
+    /** Expand spec workloads (generation phase). */
+    std::vector<CampaignWorkload> expandWorkloads(Architecture &arch);
+
+    /** Measure jobs over workloads; the parallel phase. */
+    std::vector<Sample>
+    measureJobs(const std::vector<CampaignWorkload> &workloads,
+                const std::vector<ChipConfig> &configs,
+                std::vector<CampaignJob> &jobs);
+};
+
+} // namespace mprobe
+
+#endif // CAMPAIGN_CAMPAIGN_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Structured sample export.
+ *
+ * Campaign results feed two consumers: the power models (in
+ * process, as std::vector<Sample>) and figure/analysis scripts (out
+ * of process). For the latter, samples export to CSV (one row per
+ * sample, spreadsheet/pandas-ready) and JSON (an array of objects,
+ * with the activity rates keyed by the paper's component names).
+ */
+
+#ifndef CAMPAIGN_EXPORT_HH
+#define CAMPAIGN_EXPORT_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "power/sample.hh"
+
+namespace mprobe
+{
+
+/** Write samples as CSV with a header row. */
+void exportSamplesCsv(std::ostream &os,
+                      const std::vector<Sample> &samples);
+
+/** Write samples as a JSON array of objects. */
+void exportSamplesJson(std::ostream &os,
+                       const std::vector<Sample> &samples);
+
+/** Export file format. */
+enum class SampleFormat
+{
+    Auto, //!< by extension: ".json" is JSON, anything else CSV
+    Csv,
+    Json
+};
+
+/**
+ * Write samples to @p path in @p format. Fatal on I/O errors.
+ */
+void exportSamples(const std::string &path,
+                   const std::vector<Sample> &samples,
+                   SampleFormat format = SampleFormat::Auto);
+
+/** JSON string escaping (exposed for tests). */
+std::string jsonEscape(const std::string &s);
+
+} // namespace mprobe
+
+#endif // CAMPAIGN_EXPORT_HH

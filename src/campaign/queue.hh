@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Work-queue parallel-for for campaign jobs.
+ *
+ * The minimal primitive the campaign engine needs: N workers pull
+ * indices off a shared atomic counter until the range is drained.
+ * Callers own all synchronization of the work itself; the intended
+ * pattern is "each index writes only its own pre-allocated result
+ * slot", which needs no locking and keeps output order (and thus
+ * campaign results) independent of scheduling.
+ */
+
+#ifndef CAMPAIGN_QUEUE_HH
+#define CAMPAIGN_QUEUE_HH
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace mprobe
+{
+
+/**
+ * Run fn(0) .. fn(n-1) across @p threads workers; returns when all
+ * indices are done. threads <= 1 runs inline on the caller's thread
+ * (no pool), which is also the reference behaviour parallel runs
+ * must reproduce bit-for-bit.
+ */
+inline void
+parallelFor(int threads, size_t n,
+            const std::function<void(size_t)> &fn)
+{
+    if (threads <= 1 || n <= 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    if (static_cast<size_t>(threads) > n)
+        threads = static_cast<int>(n);
+
+    std::atomic<size_t> next{0};
+    auto worker = [&]() {
+        for (;;) {
+            size_t i = next.fetch_add(1);
+            if (i >= n)
+                return;
+            fn(i);
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(threads));
+    for (int t = 0; t < threads; ++t)
+        pool.emplace_back(worker);
+    for (auto &th : pool)
+        th.join();
+}
+
+} // namespace mprobe
+
+#endif // CAMPAIGN_QUEUE_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Declarative experiment-campaign specification.
+ *
+ * A CampaignSpec describes a whole characterization campaign the way
+ * the paper describes its methodology: which micro-benchmark sources
+ * to generate (Table-2 suite categories, SPEC proxies, DAXPY
+ * kernels, extreme cases), which CMP/SMT configurations to deploy
+ * them on, and how to execute (worker threads, result cache). The
+ * campaign engine expands it into independent (workload, config)
+ * jobs.
+ *
+ * Specs can be built programmatically or parsed from a small
+ * line-based file format:
+ *
+ *     # train.spec — memory + random training corpus
+ *     categories  = memory, random
+ *     configs     = all
+ *     random_count = 40
+ *     body_size   = 1024
+ *     threads     = 4
+ *     cache_dir   = .mprobe-cache
+ */
+
+#ifndef CAMPAIGN_SPEC_HH
+#define CAMPAIGN_SPEC_HH
+
+#include <string>
+#include <vector>
+
+#include "workloads/suite.hh"
+
+namespace mprobe
+{
+
+/** What to generate, where to run it, how to execute. */
+struct CampaignSpec
+{
+    /** @name Workload sources */
+    /**@{*/
+    /** Table-2 categories to generate (empty + suiteEnabled =
+     * the whole suite). */
+    std::vector<BenchCategory> categories;
+    /** Generate Table-2 suite workloads at all. */
+    bool suiteEnabled = true;
+    /** Append the 28 SPEC CPU2006 proxies. */
+    bool specProxies = false;
+    /** Append the Section-6 DAXPY kernels. */
+    bool daxpy = false;
+    /** Append the six extreme-activity cases. */
+    bool extremes = false;
+    /** Suite generation knobs (counts, body size, budgets). */
+    SuiteOptions suite;
+    /**@}*/
+
+    /** @name Deployment */
+    /**@{*/
+    /** Configurations each workload is measured on (default: the
+     * paper's 24). */
+    std::vector<ChipConfig> configs = ChipConfig::all();
+    /**@}*/
+
+    /** @name Execution */
+    /**@{*/
+    /** Worker threads measuring jobs: 0 = one per hardware thread
+     * (resolved when the engine starts), 1 = serial reference. */
+    int threads = 0;
+    /** On-disk result cache directory; empty disables caching. */
+    std::string cacheDir;
+    /** Extra salt mixed into each job's measurement seed. */
+    uint64_t salt = 0;
+    /** Bootstrap the architecture before generation (IPC-targeted
+     * categories need measured latencies). */
+    bool bootstrap = true;
+    /**@}*/
+
+    /** Workloads per config is not knowable before generation, but
+     * configs-per-workload is: */
+    size_t configCount() const { return configs.size(); }
+
+    /** Human-readable one-line summary for banners/logs. */
+    std::string summary() const;
+};
+
+/**
+ * Parse a spec from the file format above. Unknown keys, bad
+ * values and malformed configs are fatal() with file:line context.
+ */
+CampaignSpec parseCampaignSpecText(const std::string &text,
+                                   const std::string &origin);
+
+/** Load and parse a spec file. */
+CampaignSpec loadCampaignSpec(const std::string &path);
+
+/** Parse "all" or a comma-separated "cores-smt" list. */
+std::vector<ChipConfig> parseConfigList(const std::string &s,
+                                        const std::string &context);
+
+/** Parse a category name as used in spec files (e.g. "memory"). */
+BenchCategory parseBenchCategory(const std::string &s,
+                                 const std::string &context);
+
+} // namespace mprobe
+
+#endif // CAMPAIGN_SPEC_HH

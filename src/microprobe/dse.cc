@@ -70,6 +70,7 @@ ExhaustiveSearch::search(const std::vector<ParamDomain> &space,
 {
     validateSpace(space);
     hist.clear();
+    wasTruncated = false;
 
     double total = 1.0;
     for (const auto &d : space)
@@ -86,9 +87,16 @@ ExhaustiveSearch::search(const std::vector<ParamDomain> &space,
     size_t evaluated = 0;
     for (;;) {
         if (!filter || filter(p)) {
-            if (++evaluated > maxPoints)
-                fatal(cat("DSE: exhaustive search exceeded ",
-                          maxPoints, " evaluations"));
+            if (evaluated == maxPoints) {
+                // Never return a silently partial exploration:
+                // flag it and tell the user.
+                wasTruncated = true;
+                warn(cat("DSE: exhaustive search truncated at ",
+                         maxPoints, " evaluations; the remaining "
+                         "admissible points were not visited"));
+                break;
+            }
+            ++evaluated;
             record(p, eval(p));
         }
         // Odometer increment.

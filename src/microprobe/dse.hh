@@ -93,9 +93,18 @@ class ExhaustiveSearch : public SearchDriver
     Evaluated search(const std::vector<ParamDomain> &space,
                      const EvalFn &eval) override;
 
+    /**
+     * True when the last search() stopped at max_points with
+     * admissible points still unvisited: the history covers only a
+     * prefix of the space and min/mean/max reports over it are not
+     * exhaustive. A warning is also emitted when this happens.
+     */
+    bool truncated() const { return wasTruncated; }
+
   private:
     FilterFn filter;
     size_t maxPoints;
+    bool wasTruncated = false;
 };
 
 /** Genetic-algorithm knobs. */

@@ -25,6 +25,8 @@ makeSample(const std::string &workload, const RunResult &r)
         r.rate(r.chip.memAcc) * kGiga,
     };
     s.powerWatts = r.sensorWatts;
+    s.instrGips = r.rate(r.chip.instrs) * kGiga;
+    s.coreIpc = r.coreIpc;
     return s;
 }
 

@@ -43,6 +43,11 @@ struct Sample
     std::vector<double> rates;
     /** Measured processor power (sensor), watts. */
     double powerWatts = 0.0;
+    /** Chip-wide committed instruction rate, giga-instr/s (not a
+     * model input; carried for exports and EPI computations). */
+    double instrGips = 0.0;
+    /** Per-core IPC over the window (not a model input). */
+    double coreIpc = 0.0;
 
     /** Number of cores as a model input. */
     double coresVar() const { return config.cores; }

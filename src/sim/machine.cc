@@ -7,6 +7,7 @@
 
 #include <cmath>
 
+#include "util/hash.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 
@@ -49,22 +50,6 @@ Machine::staticCmpWatts(int cores) const
     return params.cmpLin * cores +
            params.cmpCurve * std::pow(cores, params.cmpPow);
 }
-
-namespace
-{
-
-uint64_t
-hashStr(const std::string &s)
-{
-    uint64_t h = 1469598103934665603ull;
-    for (char c : s) {
-        h ^= static_cast<unsigned char>(c);
-        h *= 1099511628211ull;
-    }
-    return h;
-}
-
-} // namespace
 
 double
 Machine::sensorize(double watts, uint64_t seed) const
@@ -149,6 +134,46 @@ Machine::run(const Program &prog, const ChipConfig &cfg,
     res.gtUncoreWatts = params.uncoreActiveWatts;
     res.gtIdleWatts = params.idleWatts;
     return res;
+}
+
+uint64_t
+Machine::fingerprint() const
+{
+    Hasher h;
+    // The full instruction definitions, not just the ISA name: a
+    // definition-file variant with the same name and opcode count
+    // must not replay another ISA's cached samples.
+    h.add(isaPtr->name()).add(isaPtr->size());
+    for (size_t i = 0; i < isaPtr->size(); ++i) {
+        const InstrDef &d =
+            isaPtr->at(static_cast<Isa::OpIndex>(i));
+        h.add(d.name).add(static_cast<int>(d.cls)).add(d.width);
+        h.add(d.srcs).add(d.dsts).add(d.hasImm);
+        h.add(d.vectorData).add(d.floatData).add(d.decimalData);
+        h.add(d.update).add(d.algebraic).add(d.indexed);
+        h.add(d.conditional).add(d.privileged).add(d.prefetch);
+    }
+    h.add(params.clockGhz)
+        .add(params.idleWatts)
+        .add(params.uncoreActiveWatts)
+        .add(params.cmpLin)
+        .add(params.cmpCurve)
+        .add(params.cmpPow)
+        .add(params.smtEffectWatts)
+        .add(params.smt4ExtraWatts)
+        .add(params.sensorNoiseFrac)
+        .add(params.memContentionK);
+    h.add(simOpts.memLatency)
+        .add(simOpts.warmupIters)
+        .add(simOpts.measureIters)
+        .add(simOpts.prefetch)
+        .add(simOpts.mispredictPenalty)
+        .add(simOpts.overlapNjPerCycle)
+        .add(simOpts.transitionNjPerInstr)
+        .add(simOpts.transitionGateNj);
+    for (const auto &g : simOpts.cacheGeoms)
+        h.add(g.sizeBytes).add(g.assoc).add(g.lineBytes);
+    return h.digest();
 }
 
 } // namespace mprobe

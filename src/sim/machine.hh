@@ -101,6 +101,12 @@ struct RunResult
 /**
  * The simulated machine: deploy a micro-benchmark on a CMP/SMT
  * configuration and measure counters and power.
+ *
+ * Thread safety: run() and idleWatts() are const and touch only
+ * local state — concurrent calls on one Machine from campaign
+ * worker threads are safe as long as nobody mutates simOptions()
+ * concurrently. Results depend only on (program, config, salt), so
+ * a parallel campaign reproduces a serial one exactly.
  */
 class Machine
 {
@@ -139,6 +145,14 @@ class Machine
 
     /** Ground-truth parameters (oracle; tests only). */
     const GroundTruthParams &groundTruth() const { return params; }
+
+    /**
+     * Stable identity of everything that determines measurement
+     * results on this machine (ISA, ground-truth parameters,
+     * simulation knobs). Campaign result-cache keys incorporate it
+     * so cached samples are never replayed on a different machine.
+     */
+    uint64_t fingerprint() const;
 
     const Isa &isa() const { return *isaPtr; }
 

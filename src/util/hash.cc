@@ -1,0 +1,67 @@
+/**
+ * @file
+ * FNV-1a hashing implementation.
+ */
+
+#include "util/hash.hh"
+
+#include <cstring>
+
+namespace mprobe
+{
+
+uint64_t
+hashBytes(const void *data, size_t len, uint64_t h)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+uint64_t
+hashStr(const std::string &s)
+{
+    return hashBytes(s.data(), s.size());
+}
+
+uint64_t
+hashCombine(uint64_t a, uint64_t b)
+{
+    // Feed b's bytes into a as an FNV continuation, then avalanche
+    // (splitmix64 finalizer) so similar inputs spread apart.
+    uint64_t h = hashBytes(&b, sizeof b, a ^ kFnvOffset);
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+    return h ^ (h >> 31);
+}
+
+Hasher &
+Hasher::add(uint64_t v)
+{
+    h = hashBytes(&v, sizeof v, h);
+    return *this;
+}
+
+Hasher &
+Hasher::add(double v)
+{
+    if (v == 0.0)
+        v = 0.0; // collapse -0.0 and +0.0
+    uint64_t bits;
+    static_assert(sizeof bits == sizeof v);
+    std::memcpy(&bits, &v, sizeof bits);
+    return add(bits);
+}
+
+Hasher &
+Hasher::add(const std::string &s)
+{
+    add(static_cast<uint64_t>(s.size()));
+    h = hashBytes(s.data(), s.size(), h);
+    return *this;
+}
+
+} // namespace mprobe

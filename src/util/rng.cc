@@ -127,4 +127,16 @@ Rng::fork()
     return Rng(next() ^ 0xd1b54a32d192ed03ull);
 }
 
+Rng
+Rng::fork(uint64_t stream_id) const
+{
+    // Compress the state and separate it from the stream id with an
+    // extra splitmix round each, so ids 0,1,2,... land far apart.
+    uint64_t x = s[0] ^ rotl(s[1], 13) ^ rotl(s[2], 29) ^
+                 rotl(s[3], 43);
+    uint64_t sid = stream_id;
+    return Rng(splitmix(x) ^ splitmix(sid) ^
+               0xd1b54a32d192ed03ull);
+}
+
 } // namespace mprobe

@@ -75,6 +75,16 @@ class Rng
     /** Derive an independent child generator (for parallel streams). */
     Rng fork();
 
+    /**
+     * Derive the @p stream_id'th independent child stream without
+     * consuming any state: unlike fork(), the result depends only on
+     * the generator's current state and the stream id, never on how
+     * many other streams were split off first. Parallel campaign
+     * jobs each take fork(jobIndex) of one parent so their draws are
+     * reproducible regardless of worker count or scheduling order.
+     */
+    Rng fork(uint64_t stream_id) const;
+
   private:
     uint64_t s[4];
 

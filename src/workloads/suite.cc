@@ -339,22 +339,27 @@ generateTable2Suite(Architecture &arch, const Machine &machine,
     };
 
     // Simple Integer: 35 benchmarks, IPC 0.5..3.9.
-    for (int i = 0; i < 35; ++i)
-        targeted(BenchCategory::SimpleInteger, "simpleint",
-                 cs.simpleInt, cs.simpleIntSlow, 0.5 + 0.1 * i,
-                 "FXU or LSU");
+    if (opts.wants(BenchCategory::SimpleInteger))
+        for (int i = 0; i < 35; ++i)
+            targeted(BenchCategory::SimpleInteger, "simpleint",
+                     cs.simpleInt, cs.simpleIntSlow, 0.5 + 0.1 * i,
+                     "FXU or LSU");
     // Complex Integer: 11 benchmarks, IPC 0.1..1.1.
-    for (int i = 0; i < 11; ++i)
-        targeted(BenchCategory::ComplexInteger, "complexint",
-                 cs.complexMul, cs.complexDiv, 0.1 + 0.1 * i, "FXU");
+    if (opts.wants(BenchCategory::ComplexInteger))
+        for (int i = 0; i < 11; ++i)
+            targeted(BenchCategory::ComplexInteger, "complexint",
+                     cs.complexMul, cs.complexDiv, 0.1 + 0.1 * i,
+                     "FXU");
     // Integer: 12 benchmarks, IPC 0.1..1.2.
-    for (int i = 0; i < 12; ++i)
-        targeted(BenchCategory::Integer, "integer", cs.simpleInt,
-                 cs.complexDiv, 0.1 + 0.1 * i, "FXU, LSU");
+    if (opts.wants(BenchCategory::Integer))
+        for (int i = 0; i < 12; ++i)
+            targeted(BenchCategory::Integer, "integer", cs.simpleInt,
+                     cs.complexDiv, 0.1 + 0.1 * i, "FXU, LSU");
     // Float/Vector: 14 benchmarks, IPC 0.1..1.4.
-    for (int i = 0; i < 14; ++i)
-        targeted(BenchCategory::FloatVector, "floatvector",
-                 cs.fpVec, cs.fpVecSlow, 0.1 + 0.1 * i, "VSU");
+    if (opts.wants(BenchCategory::FloatVector))
+        for (int i = 0; i < 14; ++i)
+            targeted(BenchCategory::FloatVector, "floatvector",
+                     cs.fpVec, cs.fpVecSlow, 0.1 + 0.1 * i, "VSU");
 
     // Unit Mix: 20 benchmarks, IPC 0.1..2.0, searched with the GA
     // driver over (dep distance, class weights).
@@ -362,6 +367,8 @@ generateTable2Suite(Architecture &arch, const Machine &machine,
         cs.simpleInt, cs.complexMul, cs.fpVec, cs.fpVecSlow,
         cs.complexDiv};
     int unit_mix_count = opts.extendUnitMix ? 30 : 20;
+    if (!opts.wants(BenchCategory::UnitMix))
+        unit_mix_count = 0;
     for (int i = 0; i < unit_mix_count; ++i) {
         // 0.1..2.0 in 0.1 steps (the paper's range), then 2.2..4.0
         // in 0.2 steps when the extended sweep is enabled.
@@ -450,30 +457,40 @@ generateTable2Suite(Architecture &arch, const Machine &machine,
         {"L3", {0.00, 0.00, 1.00, 0}, false, "LSU, L1, L2, L3"},
         {"Caches", {0.33, 0.33, 0.34, 0}, false, "LSU, L1, L2, L3"},
     };
-    for (const auto &g : groups) {
-        for (int v = 0; v < opts.perMemoryGroup; ++v) {
+    // Per-benchmark seeds come from order-independent fork streams
+    // so a category-restricted generation (campaign specs) yields
+    // exactly the benchmarks of the full suite.
+    Rng mem_rng = rng.fork(0x3e3);
+    if (opts.wants(BenchCategory::MemoryGroup)) {
+        int g_idx = 0;
+        for (const auto &g : groups) {
+            Rng group_rng = mem_rng.fork(
+                static_cast<uint64_t>(g_idx++));
+            for (int v = 0; v < opts.perMemoryGroup; ++v) {
+                GeneratedBench gb;
+                gb.program = buildMemoryBench(
+                    arch, g.loads_only ? cs.loads : cs.loadsStores,
+                    g.dist, opts.bodySize, cat(g.name, "-", v),
+                    opts.seed ^ group_rng.next());
+                gb.category = BenchCategory::MemoryGroup;
+                gb.group = g.name;
+                gb.unitsStressed = g.units;
+                out.push_back(std::move(gb));
+            }
+        }
+        // Memory: misses in every level.
+        Rng miss_rng = mem_rng.fork(0xffff);
+        for (int v = 0; v < opts.memoryCount; ++v) {
             GeneratedBench gb;
             gb.program = buildMemoryBench(
-                arch, g.loads_only ? cs.loads : cs.loadsStores,
-                g.dist, opts.bodySize, cat(g.name, "-", v),
-                opts.seed ^ rng.next());
+                arch, cs.loadsStores, MemDistribution{0, 0, 0, 1},
+                opts.bodySize, cat("Memory-", v),
+                opts.seed ^ miss_rng.next());
             gb.category = BenchCategory::MemoryGroup;
-            gb.group = g.name;
-            gb.unitsStressed = g.units;
+            gb.group = "Memory";
+            gb.unitsStressed = "LSU, L1, L2, L3, MEM";
             out.push_back(std::move(gb));
         }
-    }
-    // Memory: misses in every level.
-    for (int v = 0; v < opts.memoryCount; ++v) {
-        GeneratedBench gb;
-        gb.program = buildMemoryBench(
-            arch, cs.loadsStores, MemDistribution{0, 0, 0, 1},
-            opts.bodySize, cat("Memory-", v),
-            opts.seed ^ rng.next());
-        gb.category = BenchCategory::MemoryGroup;
-        gb.group = "Memory";
-        gb.unitsStressed = "LSU, L1, L2, L3, MEM";
-        out.push_back(std::move(gb));
     }
 
     // Random micro-benchmarks. Branches are included — and
@@ -491,8 +508,11 @@ generateTable2Suite(Architecture &arch, const Machine &machine,
         for (int c = 0; c < copies; ++c)
             pool.push_back(static_cast<Isa::OpIndex>(i));
     }
-    for (int v = 0; v < opts.randomCount; ++v) {
-        uint64_t s = opts.seed ^ rng.next();
+    Rng rand_rng = rng.fork(0x7a4d);
+    int random_count =
+        opts.wants(BenchCategory::Random) ? opts.randomCount : 0;
+    for (int v = 0; v < random_count; ++v) {
+        uint64_t s = opts.seed ^ rand_rng.next();
         Rng vr(s);
         size_t k = 5 + vr.pick(14);
         std::vector<Isa::OpIndex> cands;

@@ -77,6 +77,24 @@ struct SuiteOptions
     bool extendUnitMix = true;
     /** Generation seed. */
     uint64_t seed = 0x7ab1e2ull;
+    /**
+     * Restrict generation to these categories (empty = the whole
+     * Table-2 suite). Used by campaign specs that only need part of
+     * the suite; skipped categories cost no generation time.
+     */
+    std::vector<BenchCategory> categories;
+
+    /** True when @p c should be generated under this option set. */
+    bool
+    wants(BenchCategory c) const
+    {
+        if (categories.empty())
+            return true;
+        for (BenchCategory k : categories)
+            if (k == c)
+                return true;
+        return false;
+    }
 };
 
 /**

@@ -1,0 +1,485 @@
+/**
+ * @file
+ * Tests for the campaign subsystem: spec parsing, job expansion,
+ * cache hit/miss behaviour, thread-count invariance of results and
+ * the structured exporters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "campaign/campaign.hh"
+#include "campaign/export.hh"
+#include "campaign/queue.hh"
+#include "microprobe/passes.hh"
+#include "microprobe/synthesizer.hh"
+#include "util/hash.hh"
+#include "util/logging.hh"
+
+using namespace mprobe;
+
+namespace
+{
+
+struct Fixture
+{
+    Architecture arch = Architecture::get("POWER7");
+    Machine machine{arch.isa()};
+
+    /** A few tiny distinct workloads for measurement tests. */
+    std::vector<Program>
+    programs(int n, size_t body = 128)
+    {
+        std::vector<Program> out;
+        for (int i = 0; i < n; ++i) {
+            Synthesizer synth(arch,
+                              0xbeefull + static_cast<uint64_t>(i));
+            synth.addPass<SkeletonPass>(body);
+            synth.addPass<InstructionMixPass>(
+                arch.isa().integerOps());
+            synth.addPass<RegisterInitPass>(DataPattern::Random);
+            out.push_back(synth.synthesize(cat("tiny-", i)));
+        }
+        return out;
+    }
+};
+
+/** Fresh per-test cache directory. */
+std::string
+freshCacheDir(const std::string &tag)
+{
+    std::string dir = testing::TempDir() + "mprobe-cache-" + tag;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+/** Tiny spec measuring a handful of random workloads. */
+CampaignSpec
+tinySpec()
+{
+    CampaignSpec spec;
+    // categories alone must be enough: the engine syncs it into
+    // suite.categories itself.
+    spec.categories = {BenchCategory::Random};
+    spec.suite.randomCount = 3;
+    spec.suite.bodySize = 128;
+    spec.bootstrap = false;
+    spec.threads = 2;
+    spec.configs = {{1, 1}, {2, 1}, {1, 2}};
+    return spec;
+}
+
+bool
+samplesEqual(const Sample &a, const Sample &b)
+{
+    return a.workload == b.workload &&
+           a.config.cores == b.config.cores &&
+           a.config.smt == b.config.smt && a.rates == b.rates &&
+           a.powerWatts == b.powerWatts &&
+           a.instrGips == b.instrGips && a.coreIpc == b.coreIpc;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------
+// parallelFor
+
+TEST(ParallelFor, CoversEveryIndexOnce)
+{
+    for (int threads : {1, 2, 7}) {
+        std::vector<std::atomic<int>> seen(100);
+        parallelFor(threads, seen.size(),
+                    [&](size_t i) { ++seen[i]; });
+        for (const auto &s : seen)
+            EXPECT_EQ(s.load(), 1) << threads;
+    }
+}
+
+TEST(ParallelFor, MoreThreadsThanWork)
+{
+    std::atomic<int> count{0};
+    parallelFor(16, 3, [&](size_t) { ++count; });
+    EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ParallelFor, EmptyRange)
+{
+    parallelFor(4, 0, [](size_t) { FAIL(); });
+}
+
+// ---------------------------------------------------------------
+// Spec parsing
+
+TEST(CampaignSpec, ParsesFullExample)
+{
+    CampaignSpec spec = parseCampaignSpecText(
+        "# training corpus\n"
+        "categories = memory, random\n"
+        "configs = 1-1, 2-2, 8-4\n"
+        "random_count = 12\n"
+        "per_memory_group = 2\n"
+        "body_size = 1024\n"
+        "threads = 4\n"
+        "cache_dir = /tmp/c\n"
+        "salt = 7\n"
+        "bootstrap = 0\n"
+        "seed = 0x123\n",
+        "<test>");
+    ASSERT_EQ(spec.categories.size(), 2u);
+    EXPECT_EQ(spec.categories[0], BenchCategory::MemoryGroup);
+    EXPECT_EQ(spec.categories[1], BenchCategory::Random);
+    EXPECT_TRUE(spec.suiteEnabled);
+    ASSERT_EQ(spec.configs.size(), 3u);
+    EXPECT_EQ(spec.configs[2].cores, 8);
+    EXPECT_EQ(spec.configs[2].smt, 4);
+    EXPECT_EQ(spec.suite.randomCount, 12);
+    EXPECT_EQ(spec.suite.perMemoryGroup, 2);
+    EXPECT_EQ(spec.suite.bodySize, 1024u);
+    EXPECT_EQ(spec.threads, 4);
+    EXPECT_EQ(spec.cacheDir, "/tmp/c");
+    EXPECT_EQ(spec.salt, 7u);
+    EXPECT_FALSE(spec.bootstrap);
+    EXPECT_EQ(spec.suite.seed, 0x123u);
+    // The restriction reaches the suite generator when a Campaign
+    // is constructed (covered by CampaignRun tests), not at parse
+    // time.
+}
+
+TEST(CampaignSpec, EmptyTextIsFullDefaultCampaign)
+{
+    CampaignSpec spec = parseCampaignSpecText("", "<test>");
+    EXPECT_TRUE(spec.suiteEnabled);
+    EXPECT_TRUE(spec.categories.empty());
+    EXPECT_EQ(spec.configs.size(), 24u);
+    EXPECT_EQ(spec.threads, 0); // auto
+}
+
+TEST(CampaignSpec, ExtraSourcesParse)
+{
+    CampaignSpec spec = parseCampaignSpecText(
+        "categories = none\n"
+        "spec_proxies = 1\n"
+        "daxpy = 1\n"
+        "extremes = 1\n",
+        "<test>");
+    EXPECT_FALSE(spec.suiteEnabled);
+    EXPECT_TRUE(spec.specProxies);
+    EXPECT_TRUE(spec.daxpy);
+    EXPECT_TRUE(spec.extremes);
+}
+
+TEST(CampaignSpec, ValueMayContainEquals)
+{
+    CampaignSpec spec = parseCampaignSpecText(
+        "cache_dir = /scratch/run=3/cache\n", "<test>");
+    EXPECT_EQ(spec.cacheDir, "/scratch/run=3/cache");
+}
+
+TEST(CampaignSpecDeath, UnknownKeyFatal)
+{
+    EXPECT_EXIT(parseCampaignSpecText("bogus = 1\n", "<test>"),
+                testing::ExitedWithCode(1), "unknown campaign key");
+}
+
+TEST(CampaignSpecDeath, NoWorkloadsFatal)
+{
+    EXPECT_EXIT(
+        parseCampaignSpecText("categories = none\n", "<test>"),
+        testing::ExitedWithCode(1), "selects no workloads");
+}
+
+TEST(CampaignSpecDeath, BadConfigFatal)
+{
+    EXPECT_EXIT(
+        parseCampaignSpecText("configs = 4x2\n", "<test>"),
+        testing::ExitedWithCode(1), "bad config");
+}
+
+// ---------------------------------------------------------------
+// Job keys
+
+TEST(CampaignJobKey, DistinguishesContent)
+{
+    Fixture f;
+    auto progs = f.programs(2);
+    uint64_t fp = f.machine.fingerprint();
+    uint64_t k0 = campaignJobKey(progs[0], {1, 1}, fp, 0);
+    EXPECT_EQ(k0, campaignJobKey(progs[0], {1, 1}, fp, 0));
+    EXPECT_NE(k0, campaignJobKey(progs[1], {1, 1}, fp, 0));
+    EXPECT_NE(k0, campaignJobKey(progs[0], {2, 1}, fp, 0));
+    EXPECT_NE(k0, campaignJobKey(progs[0], {1, 2}, fp, 0));
+    EXPECT_NE(k0, campaignJobKey(progs[0], {1, 1}, fp ^ 1, 0));
+    EXPECT_NE(k0, campaignJobKey(progs[0], {1, 1}, fp, 1));
+}
+
+TEST(MachineFingerprint, SensitiveToKnobs)
+{
+    Fixture f;
+    GroundTruthParams p;
+    p.idleWatts += 1.0;
+    Machine other(f.arch.isa(), p);
+    EXPECT_NE(f.machine.fingerprint(), other.fingerprint());
+    Machine same(f.arch.isa());
+    EXPECT_EQ(f.machine.fingerprint(), same.fingerprint());
+}
+
+// ---------------------------------------------------------------
+// Sample serialization
+
+TEST(SampleText, RoundTrips)
+{
+    Sample s;
+    s.workload = "bench with spaces";
+    s.config = {4, 2};
+    s.rates = {1.5, 0, 2.25, 3, 4, 5e-3, 6.125};
+    s.powerWatts = 91.625;
+    s.instrGips = 12.5;
+    s.coreIpc = 1.75;
+    Sample t;
+    ASSERT_TRUE(sampleFromText(sampleToText(s), t));
+    EXPECT_TRUE(samplesEqual(s, t));
+}
+
+TEST(SampleText, RejectsGarbage)
+{
+    Sample t;
+    EXPECT_FALSE(sampleFromText("", t));
+    EXPECT_FALSE(sampleFromText("workload x\n", t));
+    EXPECT_FALSE(sampleFromText("nonsense 1 2 3\n", t));
+    EXPECT_FALSE(sampleFromText(
+        "workload x\nconfig 1-1\nrates 1 2\npower 3\n", t));
+}
+
+TEST(SampleText, RejectsTruncatedEntry)
+{
+    // A file torn right after the power line must be a corrupt
+    // entry (-> miss), not a hit with zeroed gips/ipc.
+    Sample s;
+    s.workload = "w";
+    s.config = {1, 1};
+    s.rates = {1, 2, 3, 4, 5, 6, 7};
+    s.powerWatts = 70.0;
+    std::string text = sampleToText(s);
+    std::string torn = text.substr(0, text.find("gips"));
+    Sample t;
+    EXPECT_FALSE(sampleFromText(torn, t));
+}
+
+// ---------------------------------------------------------------
+// Measurement: determinism and cache behaviour
+
+TEST(CampaignMeasure, ThreadCountDoesNotChangeResults)
+{
+    Fixture f;
+    auto progs = f.programs(4);
+    std::vector<ChipConfig> cfgs = {{1, 1}, {2, 2}, {4, 1}};
+
+    CampaignSpec serial = tinySpec();
+    serial.threads = 1;
+    Campaign c1(f.machine, serial);
+    auto s1 = c1.measure(progs, cfgs);
+
+    CampaignSpec parallel_spec = tinySpec();
+    parallel_spec.threads = 4;
+    Campaign cn(f.machine, parallel_spec);
+    auto sn = cn.measure(progs, cfgs);
+
+    ASSERT_EQ(s1.size(), progs.size() * cfgs.size());
+    ASSERT_EQ(s1.size(), sn.size());
+    for (size_t i = 0; i < s1.size(); ++i)
+        EXPECT_TRUE(samplesEqual(s1[i], sn[i])) << i;
+}
+
+TEST(CampaignMeasure, WorkloadMajorOrder)
+{
+    Fixture f;
+    auto progs = f.programs(2);
+    std::vector<ChipConfig> cfgs = {{1, 1}, {2, 1}};
+    Campaign c(f.machine, tinySpec());
+    auto samples = c.measure(progs, cfgs);
+    ASSERT_EQ(samples.size(), 4u);
+    EXPECT_EQ(samples[0].workload, "tiny-0");
+    EXPECT_EQ(samples[0].config.cores, 1);
+    EXPECT_EQ(samples[1].workload, "tiny-0");
+    EXPECT_EQ(samples[1].config.cores, 2);
+    EXPECT_EQ(samples[2].workload, "tiny-1");
+    EXPECT_EQ(samples[3].workload, "tiny-1");
+}
+
+TEST(CampaignCache, SecondRunHitsEverything)
+{
+    Fixture f;
+    CampaignSpec spec = tinySpec();
+    spec.cacheDir = freshCacheDir("hits");
+    spec.threads = 2;
+
+    Campaign first(f.machine, spec);
+    CampaignResult r1 = first.run(f.arch);
+    EXPECT_EQ(r1.cacheHits, 0u);
+    EXPECT_EQ(r1.cacheMisses, r1.samples.size());
+    ASSERT_EQ(r1.samples.size(),
+              r1.workloads.size() * spec.configs.size());
+
+    Campaign second(f.machine, spec);
+    CampaignResult r2 = second.run(f.arch);
+    EXPECT_EQ(r2.cacheMisses, 0u);
+    EXPECT_EQ(r2.cacheHits, r2.samples.size());
+
+    ASSERT_EQ(r1.samples.size(), r2.samples.size());
+    for (size_t i = 0; i < r1.samples.size(); ++i)
+        EXPECT_TRUE(samplesEqual(r1.samples[i], r2.samples[i]))
+            << i;
+}
+
+TEST(CampaignCache, SaltChangesKeysAndMisses)
+{
+    Fixture f;
+    CampaignSpec spec = tinySpec();
+    spec.cacheDir = freshCacheDir("salt");
+    Campaign first(f.machine, spec);
+    CampaignResult r1 = first.run(f.arch);
+    EXPECT_EQ(r1.cacheHits, 0u);
+
+    spec.salt = 99;
+    Campaign salted(f.machine, spec);
+    CampaignResult r2 = salted.run(f.arch);
+    EXPECT_EQ(r2.cacheHits, 0u)
+        << "a different salt must not reuse cached results";
+}
+
+TEST(CampaignCache, CorruptEntryIsAMiss)
+{
+    Fixture f;
+    auto progs = f.programs(1);
+    std::vector<ChipConfig> cfgs = {{1, 1}};
+    CampaignSpec spec = tinySpec();
+    spec.cacheDir = freshCacheDir("corrupt");
+
+    Campaign c(f.machine, spec);
+    auto s1 = c.measure(progs, cfgs);
+
+    // Clobber the single cache entry.
+    uint64_t key = campaignJobKey(progs[0], cfgs[0],
+                                  f.machine.fingerprint(), 0);
+    ResultCache cache(spec.cacheDir);
+    {
+        std::ofstream out(cache.pathOf(key));
+        out << "not a sample\n";
+    }
+    Campaign c2(f.machine, spec);
+    auto s2 = c2.measure(progs, cfgs);
+    EXPECT_EQ(c2.cacheMisses(), 1u);
+    ASSERT_EQ(s2.size(), 1u);
+    EXPECT_TRUE(samplesEqual(s1[0], s2[0]));
+}
+
+TEST(CampaignCache, DisabledCacheStillWorks)
+{
+    Fixture f;
+    Campaign c(f.machine, tinySpec());
+    CampaignResult r = c.run(f.arch);
+    EXPECT_EQ(r.cacheHits, 0u);
+    EXPECT_EQ(r.samples.size(),
+              r.workloads.size() * tinySpec().configs.size());
+}
+
+// ---------------------------------------------------------------
+// Full-run expansion
+
+TEST(CampaignRun, CategoryRestrictionHonoured)
+{
+    Fixture f;
+    CampaignSpec spec = tinySpec();
+    Campaign c(f.machine, spec);
+    CampaignResult r = c.run(f.arch);
+    ASSERT_EQ(r.workloads.size(), 3u);
+    for (const auto &w : r.workloads)
+        EXPECT_EQ(w.source, "Random");
+    // Jobs cover every (workload, config) pair exactly once.
+    std::set<std::pair<size_t, std::string>> pairs;
+    for (const auto &j : r.jobs)
+        pairs.insert({j.workload, j.config.label()});
+    EXPECT_EQ(pairs.size(), r.jobs.size());
+}
+
+TEST(CampaignRun, SampleMatchesDirectMeasurement)
+{
+    // A campaign sample must be exactly what Machine::run yields
+    // for the same job salt: the engine adds no distortion.
+    Fixture f;
+    CampaignSpec spec = tinySpec();
+    Campaign c(f.machine, spec);
+    CampaignResult r = c.run(f.arch);
+    const CampaignJob &job = r.jobs[0];
+    const Program &prog = r.workloads[job.workload].program;
+    Sample direct = makeSample(
+        prog.name,
+        f.machine.run(prog, job.config,
+                      hashCombine(job.key, 0x5a17ull)));
+    EXPECT_TRUE(samplesEqual(direct, r.samples[0]));
+}
+
+// ---------------------------------------------------------------
+// Exporters
+
+TEST(Export, CsvShapeAndQuoting)
+{
+    Sample s;
+    s.workload = "weird,\"name\"";
+    s.config = {8, 4};
+    s.rates = {1, 2, 3, 4, 5, 6, 7};
+    s.powerWatts = 100.5;
+    std::ostringstream os;
+    exportSamplesCsv(os, {s});
+    std::istringstream in(os.str());
+    std::string header, row, extra;
+    ASSERT_TRUE(std::getline(in, header));
+    ASSERT_TRUE(std::getline(in, row));
+    EXPECT_FALSE(std::getline(in, extra));
+    EXPECT_EQ(header,
+              "workload,cores,smt,fxu_gevps,vsu_gevps,lsu_gevps,"
+              "l1_gevps,l2_gevps,l3_gevps,mem_gevps,power_watts,"
+              "instr_gips,core_ipc");
+    EXPECT_NE(row.find("\"weird,\"\"name\"\"\""),
+              std::string::npos);
+    EXPECT_NE(row.find("100.5"), std::string::npos);
+}
+
+TEST(Export, JsonEscapingAndFields)
+{
+    Sample s;
+    s.workload = "a\"b\\c\n";
+    s.config = {2, 1};
+    s.rates = {0, 0, 0, 0, 0, 0, 0};
+    s.powerWatts = 60.0;
+    std::ostringstream os;
+    exportSamplesJson(os, {s});
+    std::string j = os.str();
+    EXPECT_NE(j.find("\"a\\\"b\\\\c\\n\""), std::string::npos);
+    EXPECT_NE(j.find("\"cores\": 2"), std::string::npos);
+    EXPECT_NE(j.find("\"FXU\": 0"), std::string::npos);
+    EXPECT_NE(j.find("\"power_watts\": 60"), std::string::npos);
+}
+
+TEST(Export, FileExtensionSelectsFormat)
+{
+    Sample s;
+    s.workload = "w";
+    s.config = {1, 1};
+    s.rates = {0, 0, 0, 0, 0, 0, 0};
+    s.powerWatts = 1.0;
+    std::string base = testing::TempDir() + "mprobe-export";
+    exportSamples(base + ".json", {s});
+    exportSamples(base + ".csv", {s});
+    std::ifstream fj(base + ".json"), fc(base + ".csv");
+    std::string first_json, first_csv;
+    std::getline(fj, first_json);
+    std::getline(fc, first_csv);
+    EXPECT_EQ(first_json, "[");
+    EXPECT_EQ(first_csv.rfind("workload,", 0), 0u);
+}

@@ -61,6 +61,40 @@ TEST(ExhaustiveSearchDeath, HugeSpaceFatal)
                 testing::ExitedWithCode(1), "impractical");
 }
 
+TEST(ExhaustiveSearch, TruncationIsFlaggedNotSilent)
+{
+    // 100 points, budget 10: the search must stop at 10, keep the
+    // evaluated prefix, and raise the truncated() flag.
+    ExhaustiveSearch s(nullptr, 10);
+    std::vector<ParamDomain> space = {{"a", 0, 9}, {"b", 0, 9}};
+    auto best = s.search(space, [](const DesignPoint &p) {
+        return static_cast<double>(p[0] + 10 * p[1]);
+    });
+    EXPECT_TRUE(s.truncated());
+    EXPECT_EQ(s.history().size(), 10u);
+    EXPECT_DOUBLE_EQ(best.fitness, 9.0); // best of the prefix
+}
+
+TEST(ExhaustiveSearch, CompleteSearchIsNotTruncated)
+{
+    ExhaustiveSearch s(nullptr, 100);
+    std::vector<ParamDomain> space = {{"a", 0, 9}};
+    s.search(space,
+             [](const DesignPoint &p) { return 1.0 * p[0]; });
+    EXPECT_FALSE(s.truncated());
+    EXPECT_EQ(s.history().size(), 10u);
+}
+
+TEST(ExhaustiveSearch, ExactBudgetIsNotTruncated)
+{
+    ExhaustiveSearch s(nullptr, 10);
+    std::vector<ParamDomain> space = {{"a", 0, 9}};
+    s.search(space,
+             [](const DesignPoint &p) { return 1.0 * p[0]; });
+    EXPECT_FALSE(s.truncated());
+    EXPECT_EQ(s.history().size(), 10u);
+}
+
 TEST(GeneticSearch, FindsOptimumOfSeparableProblem)
 {
     GaOptions o;

@@ -131,6 +131,49 @@ TEST(Rng, ForkIndependent)
     EXPECT_NE(a.next(), b.next());
 }
 
+TEST(Rng, StreamForkIsOrderIndependent)
+{
+    // fork(id) must depend only on (state, id): splitting stream 7
+    // first or last, or after forking other streams, is identical.
+    Rng a(31), b(31);
+    Rng a7 = a.fork(7);
+    (void)b.fork(3);
+    (void)b.fork(12345);
+    Rng b7 = b.fork(7);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(a7.next(), b7.next());
+}
+
+TEST(Rng, StreamForkDoesNotAdvanceParent)
+{
+    Rng a(37), b(37);
+    (void)a.fork(0);
+    (void)a.fork(1);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, StreamForksDiffer)
+{
+    Rng a(41);
+    Rng s0 = a.fork(0);
+    Rng s1 = a.fork(1);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += s0.next() == s1.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, StreamForkDiffersFromParentStream)
+{
+    Rng a(43);
+    Rng child = a.fork(5);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == child.next();
+    EXPECT_LT(same, 2);
+}
+
 // ---------------------------------------------------------------
 // Strings
 

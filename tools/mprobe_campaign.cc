@@ -1,0 +1,125 @@
+/**
+ * @file
+ * mprobe-campaign: run a declarative measurement campaign — expand
+ * a spec (suite categories x CMP/SMT configurations) into jobs,
+ * execute them on a worker pool with result caching, and export the
+ * samples for model training and figures.
+ *
+ *   mprobe-campaign --spec train.spec --csv samples.csv
+ *   mprobe-campaign --threads 4 --cache-dir .mprobe-cache \
+ *                   --json suite.json
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <map>
+
+#include "campaign/campaign.hh"
+#include "campaign/export.hh"
+#include "util/args.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+#include "util/str.hh"
+#include "util/table.hh"
+
+using namespace mprobe;
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args;
+    args.addOption("spec", "",
+                   "campaign spec file (defaults to the full "
+                   "Table-2 suite across all 24 configurations)");
+    args.addOption("arch", "POWER7", "target architecture name");
+    args.addOption("configs", "",
+                   "override: comma-separated cores-smt list or "
+                   "'all'");
+    args.addOption("threads", "",
+                   "override: worker threads (0 = one per "
+                   "hardware thread)");
+    args.addOption("cache-dir", "",
+                   "override: on-disk result cache directory");
+    args.addOption("salt", "",
+                   "override: extra measurement salt");
+    args.addOption("csv", "", "export samples as CSV to this path");
+    args.addOption("json", "",
+                   "export samples as JSON to this path");
+    args.addFlag("quiet", "suppress status messages");
+    args.parse(argc, argv,
+               "Run a measurement campaign over generated "
+               "micro-benchmarks and CMP/SMT configurations.");
+
+    if (args.getFlag("quiet"))
+        setLogLevel(LogLevel::Quiet);
+
+    CampaignSpec spec;
+    if (!args.get("spec").empty())
+        spec = loadCampaignSpec(args.get("spec"));
+    if (!args.get("configs").empty())
+        spec.configs =
+            parseConfigList(args.get("configs"), "--configs");
+    if (!args.get("threads").empty())
+        spec.threads = static_cast<int>(args.getInt("threads"));
+    if (!args.get("cache-dir").empty())
+        spec.cacheDir = args.get("cache-dir");
+    if (!args.get("salt").empty())
+        spec.salt = static_cast<uint64_t>(
+            parseInt(args.get("salt"), "--salt"));
+
+    std::cout << spec.summary() << "\n";
+
+    Architecture arch = Architecture::get(args.get("arch"));
+    Machine machine(arch.isa(), arch.uarch().cacheGeometries(),
+                    arch.uarch().clockGhz());
+
+    Campaign campaign(machine, spec);
+    CampaignResult res = campaign.run(arch);
+
+    // Per-source summary of what was measured.
+    struct SourceAgg
+    {
+        size_t workloads = 0;
+        std::vector<double> powers;
+    };
+    std::map<std::string, SourceAgg> agg;
+    for (const auto &w : res.workloads)
+        ++agg[w.source].workloads;
+    for (size_t i = 0; i < res.samples.size(); ++i)
+        agg[res.workloads[res.jobs[i].workload].source]
+            .powers.push_back(res.samples[i].powerWatts);
+
+    TextTable t({"Source", "Workloads", "Samples", "Min W",
+                 "Mean W", "Max W"});
+    for (const auto &[name, a] : agg)
+        t.addRow({name, std::to_string(a.workloads),
+                  std::to_string(a.powers.size()),
+                  TextTable::num(minOf(a.powers), 2),
+                  TextTable::num(mean(a.powers), 2),
+                  TextTable::num(maxOf(a.powers), 2)});
+    t.print(std::cout);
+
+    size_t total = res.cacheHits + res.cacheMisses;
+    std::cout << res.samples.size() << " samples; cache: "
+              << res.cacheHits << " hits / " << res.cacheMisses
+              << " misses";
+    if (total > 0 && !spec.cacheDir.empty())
+        std::cout << " ("
+                  << TextTable::num(100.0 * res.cacheHits /
+                                        static_cast<double>(total),
+                                    1)
+                  << "% hit rate)";
+    std::cout << "\n";
+
+    if (!args.get("csv").empty()) {
+        exportSamples(args.get("csv"), res.samples,
+                      SampleFormat::Csv);
+        std::cout << "wrote " << args.get("csv") << "\n";
+    }
+    if (!args.get("json").empty()) {
+        exportSamples(args.get("json"), res.samples,
+                      SampleFormat::Json);
+        std::cout << "wrote " << args.get("json") << "\n";
+    }
+    return 0;
+}
