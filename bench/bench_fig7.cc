@@ -8,6 +8,7 @@
  */
 
 #include "bench/common.hh"
+#include "campaign/campaign.hh"
 #include "power/area_model.hh"
 #include "util/table.hh"
 #include "workloads/extremes.hh"
@@ -38,14 +39,24 @@ main()
         ctx.arch.uarch(), *hottest,
         ctx.machine.idleWatts(ChipConfig{1, 1}));
 
+    // One campaign pass measures every (case, configuration) point
+    // on the pool, sharing the benches' result cache.
+    std::vector<Program> case_progs;
+    for (const auto &c : cases)
+        case_progs.push_back(c.program);
+    Campaign campaign(ctx.machine, benchCampaignSpec());
+    auto case_samples = campaign.measure(case_progs, po.configs);
+
     TextTable t({"Extreme benchmark", "TD_Micro", "TD_Random",
                  "TD_SPEC", "BU", "Area[27]"});
     double sums[5] = {0, 0, 0, 0, 0};
-    for (const auto &c : cases) {
-        std::vector<Sample> ss;
-        for (const auto &cfg : po.configs)
-            ss.push_back(makeSample(
-                c.name, ctx.machine.run(c.program, cfg)));
+    for (size_t ci = 0; ci < cases.size(); ++ci) {
+        const auto &c = cases[ci];
+        std::vector<Sample> ss(
+            case_samples.begin() +
+                static_cast<long>(ci * po.configs.size()),
+            case_samples.begin() +
+                static_cast<long>((ci + 1) * po.configs.size()));
         double e[5] = {
             ex.paaeOf(ex.tdMicro, ss),
             ex.paaeOf(ex.tdRandom, ss),

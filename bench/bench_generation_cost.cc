@@ -6,6 +6,11 @@
  * suites which take an expert days to hand-craft are generated "in
  * a few hours without any human intervention" (here: milliseconds
  * per micro-benchmark on the simulated platform).
+ *
+ * Unlike the figure/table benches, the Machine::run calls here are
+ * deliberately NOT routed through Campaign::measure: raw simulation
+ * cost is the quantity under measurement, and the campaign's result
+ * cache would short-circuit exactly the code being timed.
  */
 
 #include <benchmark/benchmark.h>

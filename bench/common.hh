@@ -16,7 +16,7 @@
 #include <iostream>
 #include <string>
 
-#include "campaign/spec.hh"
+#include "campaign/campaign.hh"
 #include "microprobe/bootstrap.hh"
 #include "util/logging.hh"
 #include "workloads/pipeline.hh"
@@ -49,11 +49,24 @@ struct BenchContext
     }
 };
 
+/** Result-cache directory benches share (MPROBE_CACHE_DIR). */
+inline std::string
+envCacheDir()
+{
+    const char *d = std::getenv("MPROBE_CACHE_DIR");
+    return d != nullptr ? d : "";
+}
+
 /** Pipeline options at paper scale (or reduced in fast mode). */
 inline PipelineOptions
 paperPipelineOptions()
 {
     PipelineOptions po;
+    // All measurement flows through the campaign engine: auto
+    // worker count, result cache from MPROBE_CACHE_DIR so
+    // re-generating a figure reuses every already-measured point.
+    po.threads = 0;
+    po.cacheDir = envCacheDir();
     if (fastMode()) {
         po.suite.bodySize = 1024;
         po.suite.perMemoryGroup = 2;
@@ -88,12 +101,7 @@ paperPipelineOptions()
 inline CampaignSpec
 benchCampaignSpec()
 {
-    CampaignSpec spec;
-    spec.suiteEnabled = false;
-    spec.bootstrap = false;
-    if (const char *d = std::getenv("MPROBE_CACHE_DIR"))
-        spec.cacheDir = d;
-    return spec;
+    return measurementSpec(0, envCacheDir());
 }
 
 /** Print the bench banner. */

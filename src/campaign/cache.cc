@@ -5,14 +5,12 @@
 
 #include "campaign/cache.hh"
 
-#include <unistd.h>
-
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
-#include <thread>
 
+#include "util/fileio.hh"
 #include "util/logging.hh"
 #include "util/str.hh"
 
@@ -112,6 +110,15 @@ ResultCache::pathOf(uint64_t key) const
 }
 
 bool
+ResultCache::contains(uint64_t key) const
+{
+    if (!enabled())
+        return false;
+    std::error_code ec;
+    return fs::exists(pathOf(key), ec);
+}
+
+bool
 ResultCache::lookup(uint64_t key, Sample &out)
 {
     if (!enabled()) {
@@ -142,41 +149,9 @@ ResultCache::store(uint64_t key, const Sample &s) const
 {
     if (!enabled())
         return;
-    // Write-then-rename so concurrent writers and interrupted runs
-    // never leave a torn file under the final name. The temp name
-    // carries pid + thread so writers in different processes
-    // sharing one cache directory never collide; racing writers of
-    // one key write identical content, so last-rename-wins is
-    // harmless.
-    std::string final_path = pathOf(key);
-    std::ostringstream tmp_name;
-    tmp_name << final_path << ".tmp." << ::getpid() << "."
-             << std::hash<std::thread::id>{}(
-                    std::this_thread::get_id());
-    {
-        std::ofstream f(tmp_name.str());
-        if (!f) {
-            warn(cat("result cache: cannot write ", tmp_name.str()));
-            return;
-        }
-        f << sampleToText(s);
-        f.close();
-        if (!f) {
-            // Short write (e.g. disk full): never publish it — a
-            // truncated-but-parseable file would replay a wrong
-            // sample forever.
-            warn(cat("result cache: short write, dropping ",
-                     tmp_name.str()));
-            std::error_code ec;
-            fs::remove(tmp_name.str(), ec);
-            return;
-        }
-    }
-    std::error_code ec;
-    fs::rename(tmp_name.str(), final_path, ec);
-    if (ec)
-        warn(cat("result cache: cannot publish ", final_path, ": ",
-                 ec.message()));
+    // Atomic write-then-rename: racing writers of one key write
+    // identical content, so last-rename-wins is harmless.
+    atomicWriteFile(pathOf(key), sampleToText(s), "result cache");
 }
 
 } // namespace mprobe

@@ -65,6 +65,14 @@ class ResultCache
      */
     bool lookup(uint64_t key, Sample &out);
 
+    /**
+     * Whether an entry for @p key exists on disk, without reading
+     * or statistics. Used by resume reporting to list the remaining
+     * jobs of an interrupted campaign; a corrupt entry counts as
+     * present here but still re-measures as a miss at run time.
+     */
+    bool contains(uint64_t key) const;
+
     /** Store a completed measurement under @p key. */
     void store(uint64_t key, const Sample &s) const;
 

@@ -5,9 +5,9 @@
 
 #include "campaign/campaign.hh"
 
-#include <algorithm>
-#include <thread>
+#include <chrono>
 
+#include "campaign/manifest.hh"
 #include "campaign/queue.hh"
 #include "microprobe/bootstrap.hh"
 #include "util/hash.hh"
@@ -45,15 +45,40 @@ campaignJobKey(const Program &prog, const ChipConfig &cfg,
     return h.digest();
 }
 
+uint64_t
+campaignFingerprint(const CampaignSpec &spec,
+                    uint64_t machine_fingerprint)
+{
+    Hasher h;
+    h.add(machine_fingerprint).add(spec.salt);
+    h.add(spec.configs.size());
+    for (const auto &cfg : spec.configs)
+        h.add(cfg.cores).add(cfg.smt);
+    h.add(spec.suiteEnabled).add(spec.specProxies);
+    h.add(spec.daxpy).add(spec.extremes);
+    // Effective category restriction: the Campaign constructor
+    // syncs spec.categories into suite.categories, so hash the one
+    // that wins regardless of whether the sync ran yet.
+    const auto &cats = spec.categories.empty()
+                           ? spec.suite.categories
+                           : spec.categories;
+    h.add(cats.size());
+    for (BenchCategory c : cats)
+        h.add(static_cast<int>(c));
+    const SuiteOptions &so = spec.suite;
+    h.add(so.bodySize).add(so.perMemoryGroup).add(so.memoryCount);
+    h.add(so.randomCount).add(so.ipcSearchBudget);
+    h.add(so.gaPopulation).add(so.gaGenerations);
+    h.add(so.extendUnitMix).add(so.seed);
+    h.add(spec.bootstrap);
+    return h.digest();
+}
+
 Campaign::Campaign(const Machine &m, CampaignSpec s)
     : machine(m), spec(std::move(s)), cache(spec.cacheDir),
       machineFp(m.fingerprint())
 {
-    if (spec.threads < 0)
-        fatal("campaign: threads must be >= 0 (0 = auto)");
-    if (spec.threads == 0)
-        spec.threads = static_cast<int>(std::max(
-            1u, std::thread::hardware_concurrency()));
+    spec.threads = resolveThreads(spec.threads, "campaign");
     if (spec.configs.empty())
         fatal("campaign: no configurations to deploy on");
     // A restriction set on spec.categories reaches the suite
@@ -123,25 +148,55 @@ Campaign::expandWorkloads(Architecture &arch)
     return out;
 }
 
-std::vector<Sample>
-Campaign::measureJobs(const std::vector<CampaignWorkload> &workloads,
-                      const std::vector<ChipConfig> &configs,
-                      std::vector<CampaignJob> &jobs)
+std::vector<CampaignJob>
+Campaign::expandJobs(
+    const std::vector<CampaignWorkload> &workloads,
+    const std::vector<std::vector<ChipConfig>> &configs_per) const
 {
-    if (configs.empty())
-        fatal("campaign: no configurations to deploy on");
-    jobs.clear();
-    jobs.reserve(workloads.size() * configs.size());
-    for (size_t w = 0; w < workloads.size(); ++w)
-        for (const auto &cfg : configs)
+    if (configs_per.size() != workloads.size())
+        fatal("campaign: one config list per workload required");
+    std::vector<CampaignJob> jobs;
+    for (size_t w = 0; w < workloads.size(); ++w) {
+        if (configs_per[w].empty())
+            fatal(cat("campaign: workload '",
+                      workloads[w].program.name,
+                      "' has no configurations to deploy on"));
+        for (const auto &cfg : configs_per[w])
             jobs.push_back(
                 {w, cfg,
                  campaignJobKey(workloads[w].program, cfg,
                                 machineFp, spec.salt)});
+    }
+    return jobs;
+}
 
+void
+Campaign::writeManifest(
+    const std::vector<CampaignWorkload> &workloads,
+    const std::vector<CampaignJob> &jobs) const
+{
+    if (!cache.enabled())
+        return;
+    CampaignManifest m;
+    m.spec = spec.contentSummary();
+    m.fingerprint = campaignFingerprint(spec, machineFp);
+    m.entries.reserve(jobs.size());
+    for (const auto &job : jobs) {
+        const CampaignWorkload &w = workloads[job.workload];
+        m.entries.push_back(
+            {job.key, job.config,
+             w.source.empty() ? "adhoc" : w.source,
+             w.program.name});
+    }
+    saveManifest(manifestPath(spec.cacheDir), m);
+}
+
+std::vector<Sample>
+Campaign::runJobs(const std::vector<CampaignWorkload> &workloads,
+                  const std::vector<CampaignJob> &jobs)
+{
     inform(cat("campaign: measuring ", jobs.size(), " jobs (",
-               workloads.size(), " workloads x ",
-               configs.size(), " configs) on ", spec.threads,
+               workloads.size(), " workloads) on ", spec.threads,
                spec.threads == 1 ? " thread" : " threads"));
 
     // Each job writes only its own slot: no result synchronization,
@@ -171,20 +226,37 @@ Campaign::measureJobs(const std::vector<CampaignWorkload> &workloads,
 CampaignResult
 Campaign::run(Architecture &arch)
 {
+    using clock = std::chrono::steady_clock;
     CampaignResult res;
+    auto t0 = clock::now();
     res.workloads = expandWorkloads(arch);
+    auto t1 = clock::now();
+    res.jobs = expandJobs(
+        res.workloads,
+        std::vector<std::vector<ChipConfig>>(res.workloads.size(),
+                                             spec.configs));
+    // The manifest is persisted before measurement starts, so an
+    // interrupted run can always report what is left.
+    writeManifest(res.workloads, res.jobs);
     size_t hits0 = cache.hits(), misses0 = cache.misses();
-    res.samples = measureJobs(res.workloads, spec.configs, res.jobs);
+    res.samples = runJobs(res.workloads, res.jobs);
+    auto t2 = clock::now();
     res.cacheHits = cache.hits() - hits0;
     res.cacheMisses = cache.misses() - misses0;
+    res.generationSeconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    res.measureSeconds =
+        std::chrono::duration<double>(t2 - t1).count();
     inform(cat("campaign: done; cache ", res.cacheHits, " hits / ",
                res.cacheMisses, " misses"));
     return res;
 }
 
-std::vector<Sample>
-Campaign::measure(const std::vector<Program> &programs,
-                  const std::vector<ChipConfig> &configs)
+namespace
+{
+
+std::vector<CampaignWorkload>
+adhocWorkloads(const std::vector<Program> &programs)
 {
     std::vector<CampaignWorkload> workloads;
     workloads.reserve(programs.size());
@@ -194,8 +266,41 @@ Campaign::measure(const std::vector<Program> &programs,
         w.source = "adhoc";
         workloads.push_back(std::move(w));
     }
-    std::vector<CampaignJob> jobs;
-    return measureJobs(workloads, configs, jobs);
+    return workloads;
+}
+
+} // namespace
+
+std::vector<Sample>
+Campaign::measure(const std::vector<Program> &programs,
+                  const std::vector<ChipConfig> &configs)
+{
+    if (configs.empty())
+        fatal("campaign: no configurations to deploy on");
+    return measure(programs,
+                   std::vector<std::vector<ChipConfig>>(
+                       programs.size(), configs));
+}
+
+std::vector<Sample>
+Campaign::measure(
+    const std::vector<Program> &programs,
+    const std::vector<std::vector<ChipConfig>> &configs_per)
+{
+    auto workloads = adhocWorkloads(programs);
+    return runJobs(workloads, expandJobs(workloads, configs_per));
+}
+
+CampaignSpec
+measurementSpec(int threads, std::string cache_dir, uint64_t salt)
+{
+    CampaignSpec spec;
+    spec.suiteEnabled = false;
+    spec.bootstrap = false;
+    spec.threads = threads;
+    spec.cacheDir = std::move(cache_dir);
+    spec.salt = salt;
+    return spec;
 }
 
 } // namespace mprobe

@@ -65,6 +65,11 @@ struct CampaignResult
     /** Cache statistics of this run. */
     size_t cacheHits = 0;
     size_t cacheMisses = 0;
+    /** @name Phase wall times (perf trajectory tracking) */
+    /**@{*/
+    double generationSeconds = 0.0;
+    double measureSeconds = 0.0;
+    /**@}*/
 };
 
 /**
@@ -75,6 +80,17 @@ struct CampaignResult
 uint64_t campaignJobKey(const Program &prog, const ChipConfig &cfg,
                         uint64_t machine_fingerprint,
                         uint64_t salt);
+
+/**
+ * Fingerprint of everything in (@p spec, machine) that determines a
+ * campaign's job keys: workload sources and generation knobs,
+ * configurations, salt and the machine fingerprint — but not
+ * execution detail (threads, cache directory). The manifest stores
+ * it so --resume can tell "same campaign, different worker count"
+ * from "stale manifest of a different campaign".
+ */
+uint64_t campaignFingerprint(const CampaignSpec &spec,
+                             uint64_t machine_fingerprint);
 
 /** The engine: expansion, scheduling, caching, collection. */
 class Campaign
@@ -99,12 +115,24 @@ class Campaign
     /**
      * Lower-level entry: measure an explicit workload list across
      * @p configs with the engine's pool and cache, in deterministic
-     * (workload-major) order. Figure/table benches use this for
-     * their hand-rolled measurement loops.
+     * (workload-major) order. Figure/table benches and the model
+     * pipeline route all of their measurement through here.
      */
     std::vector<Sample>
     measure(const std::vector<Program> &programs,
             const std::vector<ChipConfig> &configs);
+
+    /**
+     * Like measure() but with one config list per program
+     * (configs_per[i] deploys programs[i]): the shape of the model
+     * pipeline's corpus, where micro-benchmarks and random/SPEC
+     * workloads are measured on different configuration subsets.
+     * Samples come back program-major, each program's configs in
+     * the order listed.
+     */
+    std::vector<Sample>
+    measure(const std::vector<Program> &programs,
+            const std::vector<std::vector<ChipConfig>> &configs_per);
 
     /** Cache statistics accumulated across run()/measure() calls. */
     size_t cacheHits() const { return cache.hits(); }
@@ -121,12 +149,31 @@ class Campaign
     /** Expand spec workloads (generation phase). */
     std::vector<CampaignWorkload> expandWorkloads(Architecture &arch);
 
-    /** Measure jobs over workloads; the parallel phase. */
+    /** Build one job per (workload, config) pair, workload-major. */
+    std::vector<CampaignJob>
+    expandJobs(const std::vector<CampaignWorkload> &workloads,
+               const std::vector<std::vector<ChipConfig>> &configs_per)
+        const;
+
+    /** Execute pre-expanded jobs on the pool; the parallel phase. */
     std::vector<Sample>
-    measureJobs(const std::vector<CampaignWorkload> &workloads,
-                const std::vector<ChipConfig> &configs,
-                std::vector<CampaignJob> &jobs);
+    runJobs(const std::vector<CampaignWorkload> &workloads,
+            const std::vector<CampaignJob> &jobs);
+
+    /** Persist the job manifest next to the cache (resume). */
+    void
+    writeManifest(const std::vector<CampaignWorkload> &workloads,
+                  const std::vector<CampaignJob> &jobs) const;
 };
+
+/**
+ * A measurement-only spec (no suite generation, no bootstrap) with
+ * the given execution knobs — what figure benches and the model
+ * pipeline construct internally before calling Campaign::measure.
+ */
+CampaignSpec measurementSpec(int threads = 0,
+                             std::string cache_dir = "",
+                             uint64_t salt = 0);
 
 } // namespace mprobe
 

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Campaign manifest serialization.
+ */
+
+#include "campaign/manifest.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/fileio.hh"
+#include "util/logging.hh"
+#include "util/str.hh"
+
+namespace mprobe
+{
+
+std::string
+manifestPath(const std::string &cacheDir)
+{
+    return cacheDir + "/campaign.manifest";
+}
+
+std::string
+manifestToText(const CampaignManifest &m)
+{
+    std::ostringstream os;
+    char key[24];
+    std::snprintf(key, sizeof key, "%016" PRIx64, m.fingerprint);
+    os << "manifest v1\n"
+       << "spec " << m.spec << "\n"
+       << "fingerprint " << key << "\n"
+       << "jobs " << m.entries.size() << "\n";
+    for (const auto &e : m.entries) {
+        std::snprintf(key, sizeof key, "%016" PRIx64, e.key);
+        // The workload name goes last: it is the only field that
+        // may contain spaces.
+        os << "job " << key << " " << e.config.cores << "-"
+           << e.config.smt << " " << e.source << "\t"
+           << e.workload << "\n";
+    }
+    return os.str();
+}
+
+bool
+manifestFromText(const std::string &text, CampaignManifest &out)
+{
+    std::istringstream in(text);
+    std::string line;
+    size_t declared = 0;
+    bool saw_header = false, saw_jobs = false;
+    while (std::getline(in, line)) {
+        if (trim(line).empty())
+            continue;
+        if (!saw_header) {
+            if (trim(line) != "manifest v1")
+                return false;
+            saw_header = true;
+            continue;
+        }
+        auto sp = line.find(' ');
+        if (sp == std::string::npos)
+            return false;
+        std::string key = line.substr(0, sp);
+        std::string val = line.substr(sp + 1);
+        if (key == "spec") {
+            out.spec = trim(val);
+        } else if (key == "fingerprint") {
+            try {
+                out.fingerprint =
+                    std::stoull(trim(val), nullptr, 16);
+            } catch (const std::exception &) {
+                return false;
+            }
+        } else if (key == "jobs") {
+            try {
+                declared = std::stoul(trim(val));
+            } catch (const std::exception &) {
+                return false;
+            }
+            saw_jobs = true;
+        } else if (key == "job") {
+            // "<key> <cores>-<smt> <source>\t<workload>"
+            auto tab = val.find('\t');
+            if (tab == std::string::npos)
+                return false;
+            ManifestEntry e;
+            e.workload = val.substr(tab + 1);
+            auto head = splitWs(val.substr(0, tab));
+            if (head.size() < 3)
+                return false;
+            auto cfg = split(head[1], '-');
+            if (cfg.size() != 2)
+                return false;
+            try {
+                e.key = std::stoull(head[0], nullptr, 16);
+                e.config.cores = std::stoi(cfg[0]);
+                e.config.smt = std::stoi(cfg[1]);
+            } catch (const std::exception &) {
+                return false;
+            }
+            // The source may itself contain spaces ("Simple
+            // Integer"): everything between the config and the tab.
+            auto src_at = val.find(head[1]) + head[1].size();
+            e.source = trim(val.substr(src_at, tab - src_at));
+            out.entries.push_back(std::move(e));
+        } else {
+            return false;
+        }
+    }
+    // A torn manifest (interrupt mid-write, pre-rename this cannot
+    // happen, but belt and braces) must not pass as complete.
+    return saw_header && saw_jobs && out.entries.size() == declared;
+}
+
+void
+saveManifest(const std::string &path, const CampaignManifest &m)
+{
+    atomicWriteFile(path, manifestToText(m), "manifest");
+}
+
+bool
+loadManifest(const std::string &path, CampaignManifest &out)
+{
+    std::ifstream f(path);
+    if (!f)
+        return false;
+    std::ostringstream os;
+    os << f.rdbuf();
+    CampaignManifest m;
+    if (!manifestFromText(os.str(), m))
+        return false;
+    out = std::move(m);
+    return true;
+}
+
+std::vector<ManifestEntry>
+remainingJobs(const CampaignManifest &m, const ResultCache &cache)
+{
+    std::vector<ManifestEntry> out;
+    for (const auto &e : m.entries)
+        if (!cache.contains(e.key))
+            out.push_back(e);
+    return out;
+}
+
+} // namespace mprobe

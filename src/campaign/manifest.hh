@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Campaign job manifest: resume reporting for interrupted runs.
+ *
+ * A campaign's measurement phase is restartable by construction —
+ * every completed job lives in the content-hash result cache — but
+ * the cache alone cannot answer "what is left?": it only knows the
+ * keys it holds, not the keys the campaign wanted. The manifest
+ * closes that gap. Right before measurement starts, the engine
+ * persists the full expanded job list (key, workload, source,
+ * configuration) next to the cache; after an interrupt, the
+ * manifest minus the cache contents is exactly the remaining work,
+ * which `mprobe_campaign --resume` lists and completes.
+ *
+ * The manifest is written atomically (write-then-rename, like cache
+ * entries), so a run interrupted mid-write never leaves a torn
+ * manifest behind.
+ */
+
+#ifndef CAMPAIGN_MANIFEST_HH
+#define CAMPAIGN_MANIFEST_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/cache.hh"
+#include "sim/machine.hh"
+
+namespace mprobe
+{
+
+/** One planned measurement of a campaign run. */
+struct ManifestEntry
+{
+    /** Content hash of the job (the cache key). */
+    uint64_t key = 0;
+    ChipConfig config;
+    /** Workload source label ("Random", "SPEC", "adhoc", ...). */
+    std::string source;
+    /** Program name (may contain spaces; serialized last). */
+    std::string workload;
+};
+
+/** The persisted job list of one campaign run. */
+struct CampaignManifest
+{
+    /** Human-readable spec summary, for mismatch messages. */
+    std::string spec;
+    /**
+     * Content fingerprint of (spec, machine) — everything that
+     * determines the job keys (workload sources and knobs, configs,
+     * salt, machine; never threads or cache location). Resume
+     * compares this, not the summary string: a different worker
+     * count is the same campaign, a different body size is not.
+     */
+    uint64_t fingerprint = 0;
+    std::vector<ManifestEntry> entries;
+};
+
+/** Manifest location inside a cache directory. */
+std::string manifestPath(const std::string &cacheDir);
+
+/** Serialize a manifest to its text representation. */
+std::string manifestToText(const CampaignManifest &m);
+
+/**
+ * Parse a serialized manifest. Returns false (leaving @p out
+ * partially filled) on malformed input.
+ */
+bool manifestFromText(const std::string &text, CampaignManifest &out);
+
+/** Atomically write @p m to @p path (warn-and-drop on I/O errors). */
+void saveManifest(const std::string &path, const CampaignManifest &m);
+
+/** Load a manifest; returns false if missing or malformed. */
+bool loadManifest(const std::string &path, CampaignManifest &out);
+
+/**
+ * Entries of @p m whose results are not yet in @p cache — the jobs
+ * an interrupted campaign still has to run. Presence is judged by
+ * cache-entry existence; a corrupt entry is re-measured at run time
+ * anyway.
+ */
+std::vector<ManifestEntry>
+remainingJobs(const CampaignManifest &m, const ResultCache &cache);
+
+} // namespace mprobe
+
+#endif // CAMPAIGN_MANIFEST_HH

@@ -13,14 +13,34 @@
 #ifndef CAMPAIGN_QUEUE_HH
 #define CAMPAIGN_QUEUE_HH
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <functional>
 #include <thread>
 #include <vector>
 
+#include "util/logging.hh"
+
 namespace mprobe
 {
+
+/**
+ * Resolve a worker-count knob: negative is a caller error (fatal,
+ * tagged with @p what), 0 means one worker per hardware thread,
+ * anything else passes through. Campaign measurement and suite
+ * generation share this policy.
+ */
+inline int
+resolveThreads(int threads, const char *what)
+{
+    if (threads < 0)
+        fatal(cat(what, ": threads must be >= 0 (0 = auto)"));
+    if (threads == 0)
+        threads = static_cast<int>(
+            std::max(1u, std::thread::hardware_concurrency()));
+    return threads;
+}
 
 /**
  * Run fn(0) .. fn(n-1) across @p threads workers; returns when all

@@ -15,7 +15,7 @@ namespace mprobe
 {
 
 std::string
-CampaignSpec::summary() const
+CampaignSpec::contentSummary() const
 {
     std::ostringstream os;
     os << "campaign: ";
@@ -39,7 +39,15 @@ CampaignSpec::summary() const
         os << sep() << "DAXPY";
     if (extremes)
         os << sep() << "extremes";
-    os << " x " << configs.size() << " configs, ";
+    os << " x " << configs.size() << " configs";
+    return os.str();
+}
+
+std::string
+CampaignSpec::summary() const
+{
+    std::ostringstream os;
+    os << contentSummary() << ", ";
     if (threads == 0)
         os << "auto threads";
     else

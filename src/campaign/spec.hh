@@ -80,6 +80,14 @@ struct CampaignSpec
 
     /** Human-readable one-line summary for banners/logs. */
     std::string summary() const;
+
+    /**
+     * Summary of what the campaign measures (sources x configs),
+     * without execution detail (threads, cache). The manifest
+     * stores this one: resuming with a different worker count is
+     * the same campaign; resuming with different sources is not.
+     */
+    std::string contentSummary() const;
 };
 
 /**

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "campaign/queue.hh"
 #include "util/logging.hh"
 
 namespace mprobe
@@ -59,17 +60,17 @@ bestOf(const std::vector<Evaluated> &hist)
 // ---------------------------------------------------------------
 // ExhaustiveSearch
 
-ExhaustiveSearch::ExhaustiveSearch(FilterFn f, size_t max_points)
-    : filter(std::move(f)), maxPoints(max_points)
+ExhaustiveSearch::ExhaustiveSearch(FilterFn f, size_t max_points,
+                                   int threads_)
+    : filter(std::move(f)), maxPoints(max_points),
+      threads(threads_)
 {
 }
 
-Evaluated
-ExhaustiveSearch::search(const std::vector<ParamDomain> &space,
-                         const EvalFn &eval)
+std::vector<DesignPoint>
+ExhaustiveSearch::enumerate(const std::vector<ParamDomain> &space)
 {
     validateSpace(space);
-    hist.clear();
     wasTruncated = false;
 
     double total = 1.0;
@@ -84,10 +85,10 @@ ExhaustiveSearch::search(const std::vector<ParamDomain> &space,
     for (const auto &d : space)
         p.push_back(d.lo);
 
-    size_t evaluated = 0;
+    std::vector<DesignPoint> points;
     for (;;) {
         if (!filter || filter(p)) {
-            if (evaluated == maxPoints) {
+            if (points.size() == maxPoints) {
                 // Never return a silently partial exploration:
                 // flag it and tell the user.
                 wasTruncated = true;
@@ -96,8 +97,7 @@ ExhaustiveSearch::search(const std::vector<ParamDomain> &space,
                          "admissible points were not visited"));
                 break;
             }
-            ++evaluated;
-            record(p, eval(p));
+            points.push_back(p);
         }
         // Odometer increment.
         size_t i = 0;
@@ -111,6 +111,22 @@ ExhaustiveSearch::search(const std::vector<ParamDomain> &space,
         if (i == space.size())
             break;
     }
+    return points;
+}
+
+Evaluated
+ExhaustiveSearch::search(const std::vector<ParamDomain> &space,
+                         const EvalFn &eval)
+{
+    std::vector<DesignPoint> points = enumerate(space);
+    hist.assign(points.size(), Evaluated{});
+    // Admissible points are independent: evaluate them on the work
+    // queue, each writing its own slot so the history matches the
+    // serial odometer order at any worker count.
+    parallelFor(threads, points.size(), [&](size_t i) {
+        double f = eval(points[i]);
+        hist[i] = {std::move(points[i]), f};
+    });
     return bestOf(hist);
 }
 

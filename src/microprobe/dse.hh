@@ -87,23 +87,48 @@ class ExhaustiveSearch : public SearchDriver
 {
   public:
     explicit ExhaustiveSearch(FilterFn filter = nullptr,
-                              size_t max_points = 2'000'000);
+                              size_t max_points = 2'000'000,
+                              int threads = 1);
 
     std::string name() const override { return "exhaustive"; }
+
+    /**
+     * Enumerate the admissible points of @p space in odometer
+     * order, capped at max_points (sets truncated()). Callers that
+     * batch-evaluate elsewhere — e.g. stressmark exploration
+     * measuring every sequence through the campaign engine — use
+     * this directly instead of search().
+     */
+    std::vector<DesignPoint>
+    enumerate(const std::vector<ParamDomain> &space);
+
+    /**
+     * Enumerate, then evaluate every admissible point. With
+     * threads != 1 the evaluations fan out on the campaign work
+     * queue (each point writes only its own history slot, so the
+     * history order stays the serial odometer order); @p eval must
+     * then be thread-safe and depend only on the point, not on
+     * evaluation order. The genetic and user-guided drivers stay
+     * serial by nature — their next point depends on previous
+     * results.
+     */
     Evaluated search(const std::vector<ParamDomain> &space,
                      const EvalFn &eval) override;
 
     /**
-     * True when the last search() stopped at max_points with
-     * admissible points still unvisited: the history covers only a
-     * prefix of the space and min/mean/max reports over it are not
-     * exhaustive. A warning is also emitted when this happens.
+     * True when the last search()/enumerate() stopped at max_points
+     * with admissible points still unvisited: the history covers
+     * only a prefix of the space and min/mean/max reports over it
+     * are not exhaustive. A warning is also emitted when this
+     * happens; exploration results carry the flag so figure reports
+     * can mark partial explorations.
      */
     bool truncated() const { return wasTruncated; }
 
   private:
     FilterFn filter;
     size_t maxPoints;
+    int threads;
     bool wasTruncated = false;
 };
 

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Small filesystem helpers shared across the framework.
+ */
+
+#ifndef UTIL_FILEIO_HH
+#define UTIL_FILEIO_HH
+
+#include <string>
+
+namespace mprobe
+{
+
+/**
+ * Atomically publish @p content at @p path: write to a unique
+ * temporary name (pid + thread id, so concurrent writers in
+ * different processes sharing one directory never collide), then
+ * rename over the target. A short write (e.g. disk full) is
+ * dropped, never published — a truncated-but-parseable file would
+ * be worse than a missing one. Failures warn (tagged with @p what)
+ * and return false; they are not fatal, since callers treat these
+ * files as best-effort durability (cache entries, manifests).
+ */
+bool atomicWriteFile(const std::string &path,
+                     const std::string &content,
+                     const std::string &what);
+
+} // namespace mprobe
+
+#endif // UTIL_FILEIO_HH

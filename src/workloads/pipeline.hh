@@ -41,6 +41,22 @@ struct PipelineOptions
     /** Loop body size for SPEC proxies / extremes. */
     size_t bodySize = 4096;
     uint64_t seed = 0x9e11e5ull;
+
+    /**
+     * @name Campaign execution
+     * The pipeline routes every measurement through
+     * Campaign::measure; these knobs configure the engine. Results
+     * are thread-count-invariant (each job's measurement salt
+     * derives from its content hash, not from scheduling).
+     */
+    /**@{*/
+    /** Measurement worker threads (0 = auto, 1 = serial). */
+    int threads = 0;
+    /** On-disk result cache directory ("" = off). */
+    std::string cacheDir;
+    /** Extra salt mixed into each job's measurement seed. */
+    uint64_t salt = 0;
+    /**@}*/
 };
 
 /** Everything measured and trained. */

@@ -125,10 +125,10 @@ expertManualSet(Architecture &arch, size_t body_size)
 }
 
 StressmarkExploration
-exploreSequences(Architecture &arch, const Machine &machine,
+exploreSequences(Architecture &arch, Campaign &campaign,
                  const std::vector<Isa::OpIndex> &triple,
                  const ChipConfig &config, size_t seq_len,
-                 size_t body_size)
+                 size_t body_size, size_t max_points)
 {
     if (triple.size() < 2)
         fatal("exploreSequences: need at least 2 candidates");
@@ -151,32 +151,54 @@ exploreSequences(Architecture &arch, const Machine &machine,
         return true;
     };
 
-    int idx = 0;
-    std::vector<double> ipcs;
-    auto eval = [&](const DesignPoint &pt) {
+    // Enumerate first, then measure the whole batch through the
+    // campaign engine: sequences are independent, so the pool and
+    // the result cache apply; sample order is point order.
+    ExhaustiveSearch search(filter, max_points);
+    std::vector<DesignPoint> points = search.enumerate(space);
+
+    std::vector<Program> progs;
+    progs.reserve(points.size());
+    for (size_t i = 0; i < points.size(); ++i) {
         std::vector<Isa::OpIndex> seq;
         seq.reserve(seq_len);
-        for (int g : pt)
+        for (int g : points[i])
             seq.push_back(triple[static_cast<size_t>(g)]);
-        Program prog = buildStressmark(
-            arch, seq, cat("stress-", config.label(), "-", idx++),
-            body_size);
-        RunResult r = machine.run(prog, config);
-        ipcs.push_back(r.coreIpc);
-        return r.sensorWatts;
-    };
-
-    ExhaustiveSearch search(filter);
-    Evaluated best = search.search(space, eval);
+        progs.push_back(buildStressmark(
+            arch, seq, cat("stress-", config.label(), "-", i),
+            body_size));
+    }
+    std::vector<Sample> samples = campaign.measure(progs, {config});
 
     StressmarkExploration out;
-    out.powers = search.fitnessValues();
-    out.ipcs = std::move(ipcs);
-    out.bestPower = best.fitness;
-    out.evaluations = search.history().size();
-    for (int g : best.point)
-        out.bestSeq.push_back(triple[static_cast<size_t>(g)]);
+    out.truncated = search.truncated();
+    out.evaluations = points.size();
+    out.powers.reserve(samples.size());
+    out.ipcs.reserve(samples.size());
+    size_t best = 0;
+    for (size_t i = 0; i < samples.size(); ++i) {
+        out.powers.push_back(samples[i].powerWatts);
+        out.ipcs.push_back(samples[i].coreIpc);
+        if (samples[i].powerWatts > out.powers[best])
+            best = i;
+    }
+    if (!samples.empty()) {
+        out.bestPower = out.powers[best];
+        for (int g : points[best])
+            out.bestSeq.push_back(triple[static_cast<size_t>(g)]);
+    }
     return out;
+}
+
+StressmarkExploration
+exploreSequences(Architecture &arch, const Machine &machine,
+                 const std::vector<Isa::OpIndex> &triple,
+                 const ChipConfig &config, size_t seq_len,
+                 size_t body_size, size_t max_points)
+{
+    Campaign campaign(machine, measurementSpec());
+    return exploreSequences(arch, campaign, triple, config,
+                            seq_len, body_size, max_points);
 }
 
 } // namespace mprobe

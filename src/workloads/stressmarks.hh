@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "campaign/campaign.hh"
 #include "microprobe/arch.hh"
 #include "microprobe/dse.hh"
 #include "sim/machine.hh"
@@ -69,18 +70,43 @@ struct StressmarkExploration
     double bestPower = 0.0;
     /** Evaluations performed. */
     size_t evaluations = 0;
+    /**
+     * True when the enumeration hit its point budget before
+     * covering every admissible sequence: powers/ipcs cover only a
+     * prefix of the space, so min/mean/max reports over them are
+     * partial. Figure-9 output marks such sets.
+     */
+    bool truncated = false;
 };
 
 /**
  * Exhaustively explore all sequences of @p seq_len over @p triple
  * that contain every candidate at least once (540 points for
  * seq_len 6 over 3 candidates), measuring power on @p config.
+ *
+ * The admissible sequences are enumerated up front and measured as
+ * one batch through @p campaign — the engine's worker pool and
+ * result cache replace the per-point serial loop, and a cached
+ * exploration re-runs in milliseconds. Enumeration stops at
+ * @p max_points, flagging `truncated` in the result.
+ */
+StressmarkExploration
+exploreSequences(Architecture &arch, Campaign &campaign,
+                 const std::vector<Isa::OpIndex> &triple,
+                 const ChipConfig &config, size_t seq_len = 6,
+                 size_t body_size = 4096,
+                 size_t max_points = 2'000'000);
+
+/**
+ * Convenience overload: explore with a throwaway measurement-only
+ * campaign (auto worker count, no cache) over @p machine.
  */
 StressmarkExploration
 exploreSequences(Architecture &arch, const Machine &machine,
                  const std::vector<Isa::OpIndex> &triple,
                  const ChipConfig &config, size_t seq_len = 6,
-                 size_t body_size = 4096);
+                 size_t body_size = 4096,
+                 size_t max_points = 2'000'000);
 
 } // namespace mprobe
 

@@ -8,7 +8,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <functional>
 
+#include "campaign/queue.hh"
 #include "microprobe/dse.hh"
 #include "microprobe/passes.hh"
 #include "microprobe/synthesizer.hh"
@@ -325,17 +327,27 @@ generateTable2Suite(Architecture &arch, const Machine &machine,
         return std::string(buf);
     };
 
-    auto targeted = [&](BenchCategory category,
-                        const std::string &prefix,
+    // The IPC-targeted searches are independent of each other: each
+    // derives every random draw from the suite seed and its own
+    // category/index, and measures only through the thread-safe
+    // Machine::run. They queue up as tasks here and fan out on the
+    // campaign work queue below; each task writes only its own
+    // pre-allocated slot, so the suite is bit-identical at any
+    // worker count.
+    std::vector<std::function<GeneratedBench()>> tasks;
+
+    auto targeted = [&](BenchCategory category, std::string prefix,
                         const std::vector<Isa::OpIndex> &fast,
                         const std::vector<Isa::OpIndex> &slow,
                         double ipc, const char *units) {
-        GeneratedBench gb = generateIpcTargeted(
-            arch, machine, fast, slow, ipc,
-            cat(prefix, "-ipc", fmt_ipc(ipc)), opts);
-        gb.category = category;
-        gb.unitsStressed = units;
-        out.push_back(std::move(gb));
+        tasks.push_back([&, category, prefix, ipc, units]() {
+            GeneratedBench gb = generateIpcTargeted(
+                arch, machine, fast, slow, ipc,
+                cat(prefix, "-ipc", fmt_ipc(ipc)), opts);
+            gb.category = category;
+            gb.unitsStressed = units;
+            return gb;
+        });
     };
 
     // Simple Integer: 35 benchmarks, IPC 0.5..3.9.
@@ -374,64 +386,82 @@ generateTable2Suite(Architecture &arch, const Machine &machine,
         // in 0.2 steps when the extended sweep is enabled.
         double target =
             i < 20 ? 0.1 + 0.1 * i : 2.0 + 0.2 * (i - 19);
-        std::vector<ParamDomain> space = {
-            {"dep-distance", 1, 48}, {"w-simple", 0, 10},
-            {"w-mul", 0, 10},        {"w-fpvec", 0, 10},
-            {"w-fpdiv", 0, 10},      {"w-intdiv", 0, 10},
-        };
-        int builds = 0;
-        Program best_prog;
-        double best_err = 1e300;
-        double best_ipc = 0.0;
-        auto eval = [&](const DesignPoint &p) {
-            std::vector<Isa::OpIndex> cands;
-            std::vector<double> w;
-            for (size_t g = 0; g < mix_groups.size(); ++g) {
-                double wg = p[g + 1];
-                if (wg <= 0.0 || mix_groups[g].empty())
-                    continue;
-                for (auto op : mix_groups[g]) {
-                    cands.push_back(op);
-                    w.push_back(
-                        wg /
-                        static_cast<double>(mix_groups[g].size()));
+        tasks.push_back([&, i, target]() {
+            std::vector<ParamDomain> space = {
+                {"dep-distance", 1, 48}, {"w-simple", 0, 10},
+                {"w-mul", 0, 10},        {"w-fpvec", 0, 10},
+                {"w-fpdiv", 0, 10},      {"w-intdiv", 0, 10},
+            };
+            int builds = 0;
+            Program best_prog;
+            double best_err = 1e300;
+            double best_ipc = 0.0;
+            auto eval = [&](const DesignPoint &p) {
+                std::vector<Isa::OpIndex> cands;
+                std::vector<double> w;
+                for (size_t g = 0; g < mix_groups.size(); ++g) {
+                    double wg = p[g + 1];
+                    if (wg <= 0.0 || mix_groups[g].empty())
+                        continue;
+                    for (auto op : mix_groups[g]) {
+                        cands.push_back(op);
+                        w.push_back(
+                            wg / static_cast<double>(
+                                     mix_groups[g].size()));
+                    }
                 }
-            }
-            if (cands.empty())
-                return -1e3;
-            Synthesizer synth(arch, opts.seed ^ (0xabcu + i));
-            synth.addPass<SkeletonPass>(opts.bodySize);
-            synth.addPass<InstructionMixPass>(cands, w);
-            synth.addPass<RegisterInitPass>(DataPattern::Random);
-            synth.addPass<ImmediateInitPass>(DataPattern::Random);
-            synth.add(std::make_unique<DependencyDistancePass>(
-                DependencyDistancePass::fixed(p[0])));
-            Program prog = synth.synthesize(
-                cat("unitmix-ipc", fmt_ipc(target), "#", builds++));
-            RunResult r = machine.run(prog, ChipConfig{1, 1});
-            double err = std::abs(r.coreIpc - target);
-            if (err < best_err) {
-                best_err = err;
-                best_prog = std::move(prog);
-                best_prog.name = cat("unitmix-ipc", fmt_ipc(target));
-                best_ipc = r.coreIpc;
-            }
-            return -err;
-        };
-        GaOptions ga;
-        ga.population = opts.gaPopulation;
-        ga.generations = opts.gaGenerations;
-        ga.seed = opts.seed ^ (0x6a0ull + i);
-        GeneticSearch search(ga);
-        search.search(space, eval);
-        GeneratedBench gb;
-        gb.program = std::move(best_prog);
-        gb.category = BenchCategory::UnitMix;
-        gb.targetIpc = target;
-        gb.achievedIpc = best_ipc;
-        gb.unitsStressed = "VSU, FXU, LSU";
-        out.push_back(std::move(gb));
+                if (cands.empty())
+                    return -1e3;
+                Synthesizer synth(arch, opts.seed ^ (0xabcu + i));
+                synth.addPass<SkeletonPass>(opts.bodySize);
+                synth.addPass<InstructionMixPass>(cands, w);
+                synth.addPass<RegisterInitPass>(
+                    DataPattern::Random);
+                synth.addPass<ImmediateInitPass>(
+                    DataPattern::Random);
+                synth.add(std::make_unique<DependencyDistancePass>(
+                    DependencyDistancePass::fixed(p[0])));
+                Program prog = synth.synthesize(cat(
+                    "unitmix-ipc", fmt_ipc(target), "#", builds++));
+                RunResult r = machine.run(prog, ChipConfig{1, 1});
+                double err = std::abs(r.coreIpc - target);
+                if (err < best_err) {
+                    best_err = err;
+                    best_prog = std::move(prog);
+                    best_prog.name =
+                        cat("unitmix-ipc", fmt_ipc(target));
+                    best_ipc = r.coreIpc;
+                }
+                return -err;
+            };
+            GaOptions ga;
+            ga.population = opts.gaPopulation;
+            ga.generations = opts.gaGenerations;
+            ga.seed = opts.seed ^ (0x6a0ull + i);
+            GeneticSearch search(ga);
+            search.search(space, eval);
+            GeneratedBench gb;
+            gb.program = std::move(best_prog);
+            gb.category = BenchCategory::UnitMix;
+            gb.targetIpc = target;
+            gb.achievedIpc = best_ipc;
+            gb.unitsStressed = "VSU, FXU, LSU";
+            return gb;
+        });
     }
+
+    // Fan the queued searches out; slot-indexed writes keep the
+    // suite order (and content) identical to a serial run.
+    int gen_threads = resolveThreads(opts.threads, "suite");
+    if (!tasks.empty())
+        inform(cat("suite: running ", tasks.size(),
+                   " generation searches on ", gen_threads,
+                   gen_threads == 1 ? " thread" : " threads"));
+    std::vector<GeneratedBench> searched(tasks.size());
+    parallelFor(gen_threads, tasks.size(),
+                [&](size_t i) { searched[i] = tasks[i](); });
+    for (auto &gb : searched)
+        out.push_back(std::move(gb));
 
     // Memory groups (Table 2's 14 distribution rows).
     struct MemGroup

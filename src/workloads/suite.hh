@@ -68,6 +68,16 @@ struct SuiteOptions
     int gaPopulation = 8;
     int gaGenerations = 3;
     /**
+     * Worker threads for generation. The per-IPC-target searches
+     * (unit-stressing sweeps, Unit Mix GA runs) are independent —
+     * each derives its randomness from the suite seed and its own
+     * index, never from generation order — so they dispatch onto
+     * the campaign work queue. Any thread count produces the
+     * bit-identical suite; 0 = one worker per hardware thread,
+     * 1 = serial reference.
+     */
+    int threads = 0;
+    /**
      * Extend the Unit Mix sweep beyond the paper's 0.1-2.0 IPC
      * range up to the machine's full width (2.2-4.0). The paper's
      * rule of thumb — "use a very broad range of power contexts

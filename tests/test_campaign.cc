@@ -15,11 +15,13 @@
 
 #include "campaign/campaign.hh"
 #include "campaign/export.hh"
+#include "campaign/manifest.hh"
 #include "campaign/queue.hh"
 #include "microprobe/passes.hh"
 #include "microprobe/synthesizer.hh"
 #include "util/hash.hh"
 #include "util/logging.hh"
+#include "workloads/pipeline.hh"
 
 using namespace mprobe;
 
@@ -386,6 +388,204 @@ TEST(CampaignCache, DisabledCacheStillWorks)
     EXPECT_EQ(r.cacheHits, 0u);
     EXPECT_EQ(r.samples.size(),
               r.workloads.size() * tinySpec().configs.size());
+}
+
+// ---------------------------------------------------------------
+// Per-workload configuration plans
+
+TEST(CampaignMeasure, PerWorkloadConfigLists)
+{
+    Fixture f;
+    auto progs = f.programs(2);
+
+    // Reference: the cross-product overload.
+    Campaign ref(f.machine, tinySpec());
+    auto cross =
+        ref.measure(progs, {ChipConfig{1, 1}, ChipConfig{2, 1}});
+    ASSERT_EQ(cross.size(), 4u);
+
+    // Plan: program 0 at 1-1 only, program 1 at 1-1 and 2-1.
+    Campaign c(f.machine, tinySpec());
+    auto samples = c.measure(
+        progs, std::vector<std::vector<ChipConfig>>{
+                   {ChipConfig{1, 1}},
+                   {ChipConfig{1, 1}, ChipConfig{2, 1}}});
+    ASSERT_EQ(samples.size(), 3u);
+    // Program-major, per-program config order — and each sample is
+    // exactly the cross-product sample of the same pair (job keys
+    // are content hashes, independent of the plan shape).
+    EXPECT_TRUE(samplesEqual(samples[0], cross[0]));
+    EXPECT_TRUE(samplesEqual(samples[1], cross[2]));
+    EXPECT_TRUE(samplesEqual(samples[2], cross[3]));
+}
+
+// ---------------------------------------------------------------
+// Manifest and resume
+
+TEST(CampaignManifest, RoundTrips)
+{
+    CampaignManifest m;
+    m.spec = "campaign: full Table-2 suite x 24 configs";
+    m.fingerprint = 0xfeedface12345678ull;
+    m.entries.push_back(
+        {0x0123456789abcdefull, {8, 4}, "Simple Integer",
+         "simpleint-ipc0.5"});
+    m.entries.push_back(
+        {0xffffffffffffffffull, {1, 1}, "adhoc",
+         "name with spaces"});
+    CampaignManifest t;
+    ASSERT_TRUE(manifestFromText(manifestToText(m), t));
+    EXPECT_EQ(t.spec, m.spec);
+    EXPECT_EQ(t.fingerprint, m.fingerprint);
+    ASSERT_EQ(t.entries.size(), 2u);
+    for (size_t i = 0; i < t.entries.size(); ++i) {
+        EXPECT_EQ(t.entries[i].key, m.entries[i].key) << i;
+        EXPECT_EQ(t.entries[i].config.cores,
+                  m.entries[i].config.cores)
+            << i;
+        EXPECT_EQ(t.entries[i].config.smt, m.entries[i].config.smt)
+            << i;
+        EXPECT_EQ(t.entries[i].source, m.entries[i].source) << i;
+        EXPECT_EQ(t.entries[i].workload, m.entries[i].workload)
+            << i;
+    }
+}
+
+TEST(CampaignManifest, RejectsGarbageAndTruncation)
+{
+    CampaignManifest t;
+    EXPECT_FALSE(manifestFromText("", t));
+    EXPECT_FALSE(manifestFromText("nonsense\n", t));
+    // Declared job count mismatching the entries = torn manifest.
+    CampaignManifest m;
+    m.spec = "s";
+    m.entries.push_back({1, {1, 1}, "adhoc", "w"});
+    m.entries.push_back({2, {2, 1}, "adhoc", "w2"});
+    std::string text = manifestToText(m);
+    std::string torn = text.substr(0, text.rfind("job "));
+    EXPECT_FALSE(manifestFromText(torn, t));
+}
+
+TEST(CampaignResume, CompletesOnlyRemainingJobs)
+{
+    Fixture f;
+    CampaignSpec spec = tinySpec();
+    spec.cacheDir = freshCacheDir("resume");
+
+    // Uninterrupted reference run (fresh cache -> all misses).
+    Campaign full(f.machine, spec);
+    CampaignResult ref = full.run(f.arch);
+    std::ostringstream ref_csv;
+    exportSamplesCsv(ref_csv, ref.samples);
+
+    // The manifest was persisted next to the cache and covers
+    // every job.
+    CampaignManifest m;
+    ASSERT_TRUE(loadManifest(manifestPath(spec.cacheDir), m));
+    EXPECT_EQ(m.spec, spec.contentSummary());
+    // The fingerprint identifies job-key-relevant content: stable
+    // across worker counts, different for a different salt.
+    EXPECT_EQ(m.fingerprint,
+              campaignFingerprint(spec, f.machine.fingerprint()));
+    CampaignSpec salted = spec;
+    salted.salt = 99;
+    EXPECT_NE(m.fingerprint,
+              campaignFingerprint(salted,
+                                  f.machine.fingerprint()));
+    CampaignSpec rethreaded = spec;
+    rethreaded.threads = 7;
+    EXPECT_EQ(m.fingerprint,
+              campaignFingerprint(rethreaded,
+                                  f.machine.fingerprint()));
+    ASSERT_EQ(m.entries.size(), ref.jobs.size());
+    for (size_t i = 0; i < m.entries.size(); ++i)
+        EXPECT_EQ(m.entries[i].key, ref.jobs[i].key) << i;
+
+    // Simulate an interrupt after N jobs: drop the cache entries
+    // of everything after the first N.
+    const size_t done = 3;
+    ResultCache cache(spec.cacheDir);
+    for (size_t i = done; i < ref.jobs.size(); ++i)
+        std::filesystem::remove(cache.pathOf(ref.jobs[i].key));
+
+    // Resume reporting sees exactly the dropped jobs.
+    auto rem = remainingJobs(m, cache);
+    ASSERT_EQ(rem.size(), ref.jobs.size() - done);
+    for (size_t i = 0; i < rem.size(); ++i)
+        EXPECT_EQ(rem[i].key, ref.jobs[done + i].key) << i;
+
+    // The resumed run touches only the unfinished jobs...
+    Campaign resumed(f.machine, spec);
+    CampaignResult res = resumed.run(f.arch);
+    EXPECT_EQ(res.cacheHits, done);
+    EXPECT_EQ(res.cacheMisses, ref.jobs.size() - done);
+
+    // ...and its export is identical to the uninterrupted run's.
+    std::ostringstream res_csv;
+    exportSamplesCsv(res_csv, res.samples);
+    EXPECT_EQ(res_csv.str(), ref_csv.str());
+
+    // Nothing is left afterwards.
+    EXPECT_TRUE(remainingJobs(m, cache).empty());
+}
+
+// ---------------------------------------------------------------
+// Campaign-powered model pipeline
+
+TEST(CampaignPipeline, ThreadCountDoesNotChangeResults)
+{
+    // The pipeline routes all measurement through
+    // Campaign::measure; a 2-thread and a 1-thread run must
+    // produce identical samples everywhere (the acceptance bar for
+    // the bench migrations).
+    Fixture f;
+    PipelineOptions po;
+    // FloatVector supplies the compute-bound SMT-1 samples the
+    // bottom-up training steps need; memory + random cover the
+    // rest. Small budgets keep the corpus cheap.
+    po.suite.categories = {BenchCategory::FloatVector,
+                           BenchCategory::MemoryGroup,
+                           BenchCategory::Random};
+    po.suite.bodySize = 256;
+    po.suite.perMemoryGroup = 1;
+    po.suite.memoryCount = 1;
+    po.suite.randomCount = 6;
+    po.suite.ipcSearchBudget = 2;
+    po.suite.threads = 1;
+    po.configs = {{1, 1}, {2, 2}, {8, 4}};
+    po.randomCrossConfig = 3;
+    po.microConfigStride = 2;
+    po.specCount = 4;
+    po.bodySize = 256;
+
+    po.threads = 1;
+    ModelExperiment serial = runModelPipeline(f.arch, f.machine, po);
+    po.threads = 2;
+    ModelExperiment parallel_ex =
+        runModelPipeline(f.arch, f.machine, po);
+
+    auto expect_same = [](const std::vector<Sample> &a,
+                          const std::vector<Sample> &b,
+                          const char *what) {
+        ASSERT_EQ(a.size(), b.size()) << what;
+        for (size_t i = 0; i < a.size(); ++i)
+            EXPECT_TRUE(samplesEqual(a[i], b[i]))
+                << what << "[" << i << "]";
+    };
+    expect_same(serial.buSet.microSmt1,
+                parallel_ex.buSet.microSmt1, "microSmt1");
+    expect_same(serial.buSet.microSmtOn,
+                parallel_ex.buSet.microSmtOn, "microSmtOn");
+    expect_same(serial.buSet.randomSmt1,
+                parallel_ex.buSet.randomSmt1, "randomSmt1");
+    expect_same(serial.buSet.randomAllConfigs,
+                parallel_ex.buSet.randomAllConfigs,
+                "randomAllConfigs");
+    expect_same(serial.microAllConfigs,
+                parallel_ex.microAllConfigs, "microAllConfigs");
+    expect_same(serial.randomAllConfigs,
+                parallel_ex.randomAllConfigs, "randomAllConfigs");
+    expect_same(serial.spec, parallel_ex.spec, "spec");
 }
 
 // ---------------------------------------------------------------

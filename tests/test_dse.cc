@@ -39,6 +39,53 @@ TEST(ExhaustiveSearch, FilterRestrictsSpace)
     EXPECT_EQ(s.history().size(), 540u);
 }
 
+TEST(ExhaustiveSearch, ParallelEvaluationMatchesSerial)
+{
+    // Admissible points evaluate on the campaign work queue; the
+    // history must keep the serial odometer order at any worker
+    // count (slot-indexed writes, no racing appends).
+    auto eval = [](const DesignPoint &p) {
+        return static_cast<double>(p[0] * 100 + p[1] * 10 + p[2]);
+    };
+    std::vector<ParamDomain> space = {
+        {"a", 0, 3}, {"b", 0, 3}, {"c", 0, 3}};
+
+    ExhaustiveSearch serial(nullptr, 2'000'000, 1);
+    Evaluated sb = serial.search(space, eval);
+    ExhaustiveSearch parallel(nullptr, 2'000'000, 4);
+    Evaluated pb = parallel.search(space, eval);
+
+    EXPECT_EQ(sb.point, pb.point);
+    EXPECT_DOUBLE_EQ(sb.fitness, pb.fitness);
+    ASSERT_EQ(serial.history().size(), parallel.history().size());
+    for (size_t i = 0; i < serial.history().size(); ++i) {
+        EXPECT_EQ(serial.history()[i].point,
+                  parallel.history()[i].point)
+            << i;
+        EXPECT_DOUBLE_EQ(serial.history()[i].fitness,
+                         parallel.history()[i].fitness)
+            << i;
+    }
+}
+
+TEST(ExhaustiveSearch, EnumerateListsAdmissiblePoints)
+{
+    ExhaustiveSearch s([](const DesignPoint &p) {
+        return (p[0] + p[1]) % 2 == 0;
+    });
+    auto points =
+        s.enumerate({{"a", 0, 2}, {"b", 0, 2}});
+    EXPECT_FALSE(s.truncated());
+    ASSERT_EQ(points.size(), 5u);
+    for (const auto &p : points)
+        EXPECT_EQ((p[0] + p[1]) % 2, 0);
+
+    ExhaustiveSearch capped(nullptr, 3);
+    auto few = capped.enumerate({{"a", 0, 9}});
+    EXPECT_TRUE(capped.truncated());
+    EXPECT_EQ(few.size(), 3u);
+}
+
 TEST(ExhaustiveSearch, HistoryHasEveryEvaluation)
 {
     ExhaustiveSearch s;

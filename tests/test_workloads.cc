@@ -129,6 +129,70 @@ TEST(Suite, MemoryGroupDistributionsHold)
     }
 }
 
+namespace
+{
+
+/** Exact program equality (content, not pointer identity). */
+bool
+programsEqual(const Program &a, const Program &b)
+{
+    if (a.name != b.name || a.body.size() != b.body.size() ||
+        a.streams.size() != b.streams.size())
+        return false;
+    for (size_t i = 0; i < a.body.size(); ++i) {
+        const ProgInst &x = a.body[i], &y = b.body[i];
+        if (x.op != y.op || x.depDist != y.depDist ||
+            x.stream != y.stream || x.toggle != y.toggle ||
+            x.takenRate != y.takenRate)
+            return false;
+    }
+    for (size_t i = 0; i < a.streams.size(); ++i)
+        if (a.streams[i].lines != b.streams[i].lines)
+            return false;
+    return true;
+}
+
+} // namespace
+
+TEST(Suite, ParallelGenerationMatchesSerial)
+{
+    // The generation searches fan out on the campaign work queue;
+    // any worker count must yield the bit-identical suite (every
+    // random draw derives from the seed and the benchmark's own
+    // index, never from scheduling).
+    Fixture f;
+    SuiteOptions opts;
+    opts.bodySize = 256;
+    opts.categories = {BenchCategory::ComplexInteger,
+                       BenchCategory::UnitMix,
+                       BenchCategory::MemoryGroup,
+                       BenchCategory::Random};
+    opts.perMemoryGroup = 1;
+    opts.memoryCount = 1;
+    opts.randomCount = 4;
+    opts.ipcSearchBudget = 2;
+    opts.gaPopulation = 4;
+    opts.gaGenerations = 1;
+    opts.extendUnitMix = false;
+
+    opts.threads = 1;
+    auto serial = generateTable2Suite(f.arch, f.machine, opts);
+    opts.threads = 3;
+    auto parallel = generateTable2Suite(f.arch, f.machine, opts);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_TRUE(
+            programsEqual(serial[i].program, parallel[i].program))
+            << i << ": " << serial[i].program.name;
+        EXPECT_EQ(serial[i].category, parallel[i].category) << i;
+        EXPECT_EQ(serial[i].group, parallel[i].group) << i;
+        EXPECT_DOUBLE_EQ(serial[i].achievedIpc,
+                         parallel[i].achievedIpc)
+            << i;
+    }
+}
+
 TEST(SpecProxies, TwentyEightDistinctWorkloads)
 {
     Fixture f;
@@ -279,6 +343,7 @@ TEST(Stressmarks, ExplorationCovers540AndFindsSpread)
         f.arch, f.machine, triple, ChipConfig{8, 4}, 6, 504);
     EXPECT_EQ(ex.evaluations, 540u);
     EXPECT_EQ(ex.powers.size(), 540u);
+    EXPECT_FALSE(ex.truncated);
     EXPECT_DOUBLE_EQ(ex.bestPower, maxOf(ex.powers));
     // Same mix, different order: a measurable power spread
     // (the paper reports up to 17%).
@@ -286,4 +351,19 @@ TEST(Stressmarks, ExplorationCovers540AndFindsSpread)
                     maxOf(ex.powers);
     EXPECT_GT(spread, 0.05);
     EXPECT_EQ(ex.bestSeq.size(), 6u);
+}
+
+TEST(Stressmarks, TruncatedExplorationIsFlagged)
+{
+    // A capped enumeration must reach the caller as a partial
+    // exploration (Figure 9 marks such sets), not pass silently.
+    Fixture f;
+    auto triple = expertPicks(f.arch);
+    StressmarkExploration ex =
+        exploreSequences(f.arch, f.machine, triple,
+                         ChipConfig{1, 1}, 6, 256, 25);
+    EXPECT_TRUE(ex.truncated);
+    EXPECT_EQ(ex.evaluations, 25u);
+    EXPECT_EQ(ex.powers.size(), 25u);
+    EXPECT_EQ(ex.ipcs.size(), 25u);
 }

@@ -8,14 +8,18 @@
  *   mprobe-campaign --spec train.spec --csv samples.csv
  *   mprobe-campaign --threads 4 --cache-dir .mprobe-cache \
  *                   --json suite.json
+ *   mprobe-campaign --spec train.spec --cache-dir .mprobe-cache \
+ *                   --resume
  */
 
 #include <algorithm>
+#include <fstream>
 #include <iostream>
 #include <map>
 
 #include "campaign/campaign.hh"
 #include "campaign/export.hh"
+#include "campaign/manifest.hh"
 #include "util/args.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
@@ -23,6 +27,95 @@
 #include "util/table.hh"
 
 using namespace mprobe;
+
+namespace
+{
+
+/**
+ * Resume reporting: load the manifest persisted next to the cache
+ * and list what an interrupted run left unfinished. The run that
+ * follows completes exactly those jobs — finished ones are cache
+ * hits by construction.
+ */
+void
+reportResume(const CampaignSpec &spec, uint64_t machine_fp)
+{
+    if (spec.cacheDir.empty())
+        fatal("--resume needs a cache directory (--cache-dir or "
+              "cache_dir in the spec): the manifest lives there");
+    CampaignManifest m;
+    if (!loadManifest(manifestPath(spec.cacheDir), m))
+        fatal(cat("--resume: no manifest under '", spec.cacheDir,
+                  "' — nothing to resume (run a campaign with "
+                  "this cache directory first)"));
+    // Compare job-key-relevant content, not the summary string: a
+    // different worker count is the same campaign; a different
+    // body size / seed / salt / config set / machine is not, even
+    // when the summaries read identically.
+    if (m.fingerprint != campaignFingerprint(spec, machine_fp)) {
+        warn(cat("--resume: spec mismatch; the manifest was "
+                 "written by \"", m.spec, "\" with different "
+                 "content — its progress does not apply to this "
+                 "campaign, which runs in full (cache entries "
+                 "never clash: job keys hash the content)"));
+        return;
+    }
+    ResultCache probe(spec.cacheDir);
+    auto rem = remainingJobs(m, probe);
+    std::cout << "resume: " << m.entries.size() - rem.size()
+              << " of " << m.entries.size()
+              << " jobs already measured, " << rem.size()
+              << " remaining\n";
+    const size_t list_cap = 20;
+    for (size_t i = 0; i < rem.size() && i < list_cap; ++i)
+        std::cout << "  todo: " << rem[i].workload << " @ "
+                  << rem[i].config.label() << " (" << rem[i].source
+                  << ")\n";
+    if (rem.size() > list_cap)
+        std::cout << "  ... and " << rem.size() - list_cap
+                  << " more\n";
+    if (rem.empty())
+        std::cout << "campaign is already complete; re-running "
+                     "only re-exports\n";
+}
+
+/** CI/perf-trajectory metrics of one campaign run. */
+void
+writeMetricsJson(const std::string &path, const CampaignSpec &spec,
+                 const CampaignResult &res)
+{
+    size_t total = res.cacheHits + res.cacheMisses;
+    double hit_rate =
+        total > 0
+            ? static_cast<double>(res.cacheHits) /
+                  static_cast<double>(total)
+            : 0.0;
+    double jobs_per_sec =
+        res.measureSeconds > 0
+            ? static_cast<double>(res.jobs.size()) /
+                  res.measureSeconds
+            : 0.0;
+    std::ofstream f(path);
+    if (!f)
+        fatal(cat("cannot write metrics file '", path, "'"));
+    f << "{\n"
+      << "  \"workloads\": " << res.workloads.size() << ",\n"
+      << "  \"jobs\": " << res.jobs.size() << ",\n"
+      << "  \"threads\": " << spec.threads << ",\n"
+      << "  \"suite_generation_seconds\": "
+      << res.generationSeconds << ",\n"
+      << "  \"measurement_seconds\": " << res.measureSeconds
+      << ",\n"
+      << "  \"jobs_per_second\": " << jobs_per_sec << ",\n"
+      << "  \"cache_hits\": " << res.cacheHits << ",\n"
+      << "  \"cache_misses\": " << res.cacheMisses << ",\n"
+      << "  \"cache_hit_rate\": " << hit_rate << "\n"
+      << "}\n";
+    if (!f.flush())
+        fatal(cat("short write to metrics file '", path, "'"));
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -45,6 +138,14 @@ main(int argc, char **argv)
     args.addOption("csv", "", "export samples as CSV to this path");
     args.addOption("json", "",
                    "export samples as JSON to this path");
+    args.addOption("metrics-json", "",
+                   "write run metrics (generation/measure wall "
+                   "time, jobs/sec, cache hit rate) as JSON to "
+                   "this path");
+    args.addFlag("resume",
+                 "list the jobs an interrupted campaign left "
+                 "unfinished (from the cache-dir manifest), then "
+                 "complete only those");
     args.addFlag("quiet", "suppress status messages");
     args.parse(argc, argv,
                "Run a measurement campaign over generated "
@@ -72,6 +173,9 @@ main(int argc, char **argv)
     Architecture arch = Architecture::get(args.get("arch"));
     Machine machine(arch.isa(), arch.uarch().cacheGeometries(),
                     arch.uarch().clockGhz());
+
+    if (args.getFlag("resume"))
+        reportResume(spec, machine.fingerprint());
 
     Campaign campaign(machine, spec);
     CampaignResult res = campaign.run(arch);
@@ -111,6 +215,12 @@ main(int argc, char **argv)
                   << "% hit rate)";
     std::cout << "\n";
 
+    if (!args.get("metrics-json").empty()) {
+        // specRef() carries the resolved (non-auto) thread count.
+        writeMetricsJson(args.get("metrics-json"),
+                         campaign.specRef(), res);
+        std::cout << "wrote " << args.get("metrics-json") << "\n";
+    }
     if (!args.get("csv").empty()) {
         exportSamples(args.get("csv"), res.samples,
                       SampleFormat::Csv);
