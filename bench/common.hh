@@ -57,6 +57,23 @@ envCacheDir()
     return d != nullptr ? d : "";
 }
 
+/**
+ * Shard selector benches honour (MPROBE_SHARD=i/n, needs
+ * MPROBE_CACHE_DIR): a sharded bench run measures only its slice
+ * of the corpus into the shared cache — its printed figures are
+ * partial — and the final unsharded run regenerates the figure
+ * from all cache hits.
+ */
+inline void
+envShard(int &index, int &count)
+{
+    index = 0;
+    count = 1;
+    const char *s = std::getenv("MPROBE_SHARD");
+    if (s != nullptr && s[0] != '\0')
+        parseShard(s, "MPROBE_SHARD", index, count);
+}
+
 /** Pipeline options at paper scale (or reduced in fast mode). */
 inline PipelineOptions
 paperPipelineOptions()
@@ -64,9 +81,11 @@ paperPipelineOptions()
     PipelineOptions po;
     // All measurement flows through the campaign engine: auto
     // worker count, result cache from MPROBE_CACHE_DIR so
-    // re-generating a figure reuses every already-measured point.
+    // re-generating a figure reuses every already-measured point,
+    // optional shard slice from MPROBE_SHARD.
     po.threads = 0;
     po.cacheDir = envCacheDir();
+    envShard(po.shardIndex, po.shardCount);
     if (fastMode()) {
         po.suite.bodySize = 1024;
         po.suite.perMemoryGroup = 2;
@@ -96,12 +115,19 @@ paperPipelineOptions()
 /**
  * Measurement-only campaign spec for the benches: auto worker
  * count, result cache from MPROBE_CACHE_DIR (so re-generating a
- * figure reuses every already-measured point), no suite generation.
+ * figure reuses every already-measured point), shard slice from
+ * MPROBE_SHARD, no suite generation.
  */
 inline CampaignSpec
 benchCampaignSpec()
 {
-    return measurementSpec(0, envCacheDir());
+    CampaignSpec spec = measurementSpec(0, envCacheDir());
+    envShard(spec.shardIndex, spec.shardCount);
+    // Fast-mode benches measure a different (smaller) corpus than
+    // full-size ones; tag the manifest so the two never accumulate
+    // into one in a shared cache directory.
+    spec.corpusTag = fastMode() ? 0xfa57ull : 0x1ull;
+    return spec;
 }
 
 /** Print the bench banner. */

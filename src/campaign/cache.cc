@@ -61,6 +61,12 @@ sampleFromText(const std::string &text, Sample &out)
                     return false;
                 out.config.cores = std::stoi(parts[0]);
                 out.config.smt = std::stoi(parts[1]);
+                // A configuration without at least one core and one
+                // SMT thread cannot have been measured: such an
+                // entry (e.g. a torn "config 0-0") is corrupt, not
+                // a hit that feeds ChipConfig{0,0} downstream.
+                if (out.config.cores < 1 || out.config.smt < 1)
+                    return false;
                 saw_config = true;
             } else if (key == "rates") {
                 out.rates.clear();
@@ -125,33 +131,52 @@ ResultCache::lookup(uint64_t key, Sample &out)
         ++nMisses;
         return false;
     }
-    std::ifstream f(pathOf(key));
-    if (!f) {
-        ++nMisses;
-        return false;
+    if (peek(key, out)) {
+        ++nHits;
+        return true;
     }
+    // An entry that exists but failed to parse deserves a warning
+    // (a plainly absent one does not).
+    std::error_code ec;
+    if (fs::exists(pathOf(key), ec))
+        warn(cat("result cache: corrupt entry ", pathOf(key),
+                 " ignored"));
+    ++nMisses;
+    return false;
+}
+
+bool
+ResultCache::peek(uint64_t key, Sample &out) const
+{
+    if (!enabled())
+        return false;
+    std::ifstream f(pathOf(key));
+    if (!f)
+        return false;
     std::ostringstream os;
     os << f.rdbuf();
     Sample s;
-    if (!sampleFromText(os.str(), s)) {
-        warn(cat("result cache: corrupt entry ", pathOf(key),
-                 " ignored"));
-        ++nMisses;
+    if (!sampleFromText(os.str(), s))
         return false;
-    }
     out = std::move(s);
-    ++nHits;
     return true;
 }
 
-void
+bool
 ResultCache::store(uint64_t key, const Sample &s) const
 {
     if (!enabled())
-        return;
+        return true;
     // Atomic write-then-rename: racing writers of one key write
     // identical content, so last-rename-wins is harmless.
-    atomicWriteFile(pathOf(key), sampleToText(s), "result cache");
+    if (!atomicWriteFile(pathOf(key), sampleToText(s),
+                         "result cache")) {
+        warn(cat("result cache: entry ", pathOf(key),
+                 " not persisted; this job will re-measure on "
+                 "resume/merge"));
+        return false;
+    }
+    return true;
 }
 
 } // namespace mprobe

@@ -73,8 +73,21 @@ class ResultCache
      */
     bool contains(uint64_t key) const;
 
-    /** Store a completed measurement under @p key. */
-    void store(uint64_t key, const Sample &s) const;
+    /**
+     * Read the entry for @p key without touching hits()/misses().
+     * Sharded measure() uses this to fill off-shard slots from
+     * whatever other shards already measured, without distorting
+     * this run's cache statistics.
+     */
+    bool peek(uint64_t key, Sample &out) const;
+
+    /**
+     * Store a completed measurement under @p key. Returns false
+     * (after warning) when the entry could not be persisted — the
+     * result is still valid in memory, but resumed/sharded runs
+     * will re-measure this job.
+     */
+    bool store(uint64_t key, const Sample &s) const;
 
     /** @name Statistics (since construction) */
     /**@{*/

@@ -5,6 +5,7 @@
 
 #include "campaign/campaign.hh"
 
+#include <atomic>
 #include <chrono>
 
 #include "campaign/manifest.hh"
@@ -71,8 +72,39 @@ campaignFingerprint(const CampaignSpec &spec,
     h.add(so.gaPopulation).add(so.gaGenerations);
     h.add(so.extendUnitMix).add(so.seed);
     h.add(spec.bootstrap);
+    h.add(spec.corpusTag);
     return h.digest();
 }
+
+std::vector<size_t>
+shardIndices(size_t n, int index, int count)
+{
+    std::vector<size_t> out;
+    if (count < 1 || index < 0 || index >= count)
+        fatal(cat("campaign: bad shard ", index, "/", count));
+    out.reserve(n / static_cast<size_t>(count) + 1);
+    for (size_t i = static_cast<size_t>(index); i < n;
+         i += static_cast<size_t>(count))
+        out.push_back(i);
+    return out;
+}
+
+namespace
+{
+
+/** The jobs at @p indices, in index order. */
+std::vector<CampaignJob>
+jobsAt(const std::vector<CampaignJob> &jobs,
+       const std::vector<size_t> &indices)
+{
+    std::vector<CampaignJob> out;
+    out.reserve(indices.size());
+    for (size_t i : indices)
+        out.push_back(jobs[i]);
+    return out;
+}
+
+} // namespace
 
 Campaign::Campaign(const Machine &m, CampaignSpec s)
     : machine(m), spec(std::move(s)), cache(spec.cacheDir),
@@ -81,6 +113,15 @@ Campaign::Campaign(const Machine &m, CampaignSpec s)
     spec.threads = resolveThreads(spec.threads, "campaign");
     if (spec.configs.empty())
         fatal("campaign: no configurations to deploy on");
+    if (spec.shardCount < 1 || spec.shardIndex < 0 ||
+        spec.shardIndex >= spec.shardCount)
+        fatal(cat("campaign: bad shard ", spec.shardIndex, "/",
+                  spec.shardCount,
+                  " (want 0 <= index < count)"));
+    if (spec.sharded() && !cache.enabled())
+        fatal("campaign: sharded execution needs a cache "
+              "directory shared by all shards (results live "
+              "there; --merge assembles them)");
     // A restriction set on spec.categories reaches the suite
     // generator without the caller having to mirror it into
     // suite.categories; one set directly on SuiteOptions is left
@@ -188,16 +229,41 @@ Campaign::writeManifest(
              w.source.empty() ? "adhoc" : w.source,
              w.program.name});
     }
-    saveManifest(manifestPath(spec.cacheDir), m);
+    // Merge-accumulate: repeated measure() calls (the model
+    // pipeline issues several) grow one manifest, and every shard
+    // of one campaign persists the identical full job list.
+    mergeSaveManifest(manifestPath(spec.cacheDir), m);
 }
 
 std::vector<Sample>
 Campaign::runJobs(const std::vector<CampaignWorkload> &workloads,
-                  const std::vector<CampaignJob> &jobs)
+                  const std::vector<CampaignJob> &jobs,
+                  size_t campaign_total)
 {
+    std::string shard_tag =
+        spec.sharded() ? cat(" [shard ", spec.shardIndex, "/",
+                             spec.shardCount, " of ",
+                             campaign_total, " campaign jobs]")
+                       : std::string();
     inform(cat("campaign: measuring ", jobs.size(), " jobs (",
                workloads.size(), " workloads) on ", spec.threads,
-               spec.threads == 1 ? " thread" : " threads"));
+               spec.threads == 1 ? " thread" : " threads",
+               shard_tag));
+
+    // Progress reporting: an atomic completion counter plus a
+    // time-throttled reporter election (compare-exchange on the
+    // next report deadline, so exactly one worker prints each
+    // line). The denominator is this call's job count; under a
+    // shard the campaign-wide total gives context.
+    using clock = std::chrono::steady_clock;
+    const auto t0 = clock::now();
+    const int64_t every_ms =
+        spec.progressSeconds > 0
+            ? static_cast<int64_t>(spec.progressSeconds * 1000.0)
+            : 0;
+    std::atomic<size_t> done{0};
+    std::atomic<size_t> cached{0};
+    std::atomic<int64_t> next_report_ms{every_ms};
 
     // Each job writes only its own slot: no result synchronization,
     // and sample order is scheduling-independent by construction.
@@ -207,18 +273,34 @@ Campaign::runJobs(const std::vector<CampaignWorkload> &workloads,
         Sample s;
         if (cache.lookup(job.key, s)) {
             samples[i] = std::move(s);
-            return;
+            ++cached;
+        } else {
+            const Program &prog =
+                workloads[job.workload].program;
+            // The measurement salt derives from the job's content
+            // hash, never from scheduling, so repeated sensor
+            // noise matches the serial reference run and the cache
+            // exactly.
+            uint64_t salt = hashCombine(job.key, 0x5a17ull);
+            samples[i] =
+                makeSample(prog.name,
+                           machine.run(prog, job.config, salt));
+            cache.store(job.key, samples[i]);
         }
-        const Program &prog =
-            workloads[job.workload].program;
-        // The measurement salt derives from the job's content hash,
-        // never from scheduling, so repeated sensor noise matches
-        // the serial reference run and the cache exactly.
-        uint64_t salt = hashCombine(job.key, 0x5a17ull);
-        samples[i] =
-            makeSample(prog.name,
-                       machine.run(prog, job.config, salt));
-        cache.store(job.key, samples[i]);
+        size_t k = ++done;
+        if (every_ms <= 0 || k == jobs.size())
+            return;
+        int64_t elapsed =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                clock::now() - t0)
+                .count();
+        int64_t deadline = next_report_ms.load();
+        if (elapsed >= deadline &&
+            next_report_ms.compare_exchange_strong(
+                deadline, elapsed + every_ms))
+            inform(cat("campaign: ", k, " of ", jobs.size(),
+                       " jobs done, ", cached.load(), " cached",
+                       shard_tag));
     });
     return samples;
 }
@@ -231,15 +313,24 @@ Campaign::run(Architecture &arch)
     auto t0 = clock::now();
     res.workloads = expandWorkloads(arch);
     auto t1 = clock::now();
-    res.jobs = expandJobs(
+    std::vector<CampaignJob> all_jobs = expandJobs(
         res.workloads,
         std::vector<std::vector<ChipConfig>>(res.workloads.size(),
                                              spec.configs));
-    // The manifest is persisted before measurement starts, so an
-    // interrupted run can always report what is left.
-    writeManifest(res.workloads, res.jobs);
+    res.totalJobs = all_jobs.size();
+    // The manifest is persisted before measurement starts — always
+    // the *full* job list, so an interrupted or sharded run can
+    // always report what is left and --merge sees every job.
+    writeManifest(res.workloads, all_jobs);
+    if (spec.sharded())
+        res.jobs = jobsAt(all_jobs,
+                          shardIndices(all_jobs.size(),
+                                       spec.shardIndex,
+                                       spec.shardCount));
+    else
+        res.jobs = std::move(all_jobs);
     size_t hits0 = cache.hits(), misses0 = cache.misses();
-    res.samples = runJobs(res.workloads, res.jobs);
+    res.samples = runJobs(res.workloads, res.jobs, res.totalJobs);
     auto t2 = clock::now();
     res.cacheHits = cache.hits() - hits0;
     res.cacheMisses = cache.misses() - misses0;
@@ -288,7 +379,51 @@ Campaign::measure(
     const std::vector<std::vector<ChipConfig>> &configs_per)
 {
     auto workloads = adhocWorkloads(programs);
-    return runJobs(workloads, expandJobs(workloads, configs_per));
+    auto jobs = expandJobs(workloads, configs_per);
+    // measure() campaigns are manifest-covered too: benches and
+    // the model pipeline accumulate their job lists next to the
+    // shared cache, which is what makes --resume and --merge (and
+    // therefore sharding) work for them.
+    writeManifest(workloads, jobs);
+    if (!spec.sharded())
+        return runJobs(workloads, jobs, jobs.size());
+
+    // Sharded measure(): run this shard's slice, then fill
+    // off-shard slots from the shared cache. Slots no other shard
+    // has measured yet stay placeholders (correct workload/config,
+    // zeroed measurements): a sharded bench run warms the cache,
+    // the final unsharded all-hit run computes the figures.
+    std::vector<size_t> mine = shardIndices(
+        jobs.size(), spec.shardIndex, spec.shardCount);
+    std::vector<Sample> measured =
+        runJobs(workloads, jobsAt(jobs, mine), jobs.size());
+
+    std::vector<Sample> out(jobs.size());
+    std::vector<char> filled(jobs.size(), 0);
+    for (size_t k = 0; k < mine.size(); ++k) {
+        out[mine[k]] = std::move(measured[k]);
+        filled[mine[k]] = 1;
+    }
+    size_t holes = 0;
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        if (filled[i])
+            continue;
+        if (cache.peek(jobs[i].key, out[i]))
+            continue;
+        Sample &s = out[i];
+        s.workload = workloads[jobs[i].workload].program.name;
+        s.config = jobs[i].config;
+        s.rates.assign(dynamicFeatureNames().size(), 0.0);
+        ++holes;
+    }
+    if (holes > 0)
+        warn(cat("campaign: shard ", spec.shardIndex, "/",
+                 spec.shardCount, ": ", holes, " of ",
+                 jobs.size(), " jobs not yet in the shared "
+                 "cache; their samples are zero placeholders — "
+                 "run the remaining shards, then re-run unsharded "
+                 "(all cache hits) before consuming results"));
+    return out;
 }
 
 CampaignSpec

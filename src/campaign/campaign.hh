@@ -56,12 +56,17 @@ struct CampaignWorkload
 /** Everything a campaign run produces. */
 struct CampaignResult
 {
-    /** One sample per job, in job order (workload-major). */
+    /** One sample per executed job, in job order (workload-major).
+     * Under a shard spec this covers only this shard's slice. */
     std::vector<Sample> samples;
     /** The generated corpus the samples cover. */
     std::vector<CampaignWorkload> workloads;
-    /** Executed jobs (parallel to samples). */
+    /** Executed jobs (parallel to samples; the shard slice when
+     * sharded). */
     std::vector<CampaignJob> jobs;
+    /** Full campaign job count before shard slicing (equals
+     * jobs.size() for an unsharded run). */
+    size_t totalJobs = 0;
     /** Cache statistics of this run. */
     size_t cacheHits = 0;
     size_t cacheMisses = 0;
@@ -92,6 +97,16 @@ uint64_t campaignJobKey(const Program &prog, const ChipConfig &cfg,
 uint64_t campaignFingerprint(const CampaignSpec &spec,
                              uint64_t machine_fingerprint);
 
+/**
+ * Deterministic shard partition: the indices i in [0, n) with
+ * i % count == index. Partitioning is by stable expansion index —
+ * never by scheduling or cache state — so the union over all shards
+ * of one campaign is exactly the unsharded job list, and adjacent
+ * jobs (same workload, different configs) round-robin across
+ * shards for balance.
+ */
+std::vector<size_t> shardIndices(size_t n, int index, int count);
+
 /** The engine: expansion, scheduling, caching, collection. */
 class Campaign
 {
@@ -109,6 +124,13 @@ class Campaign
      * expand jobs, measure them on the pool, export-ready samples
      * out. Generation is serial and deterministic; only the
      * embarrassingly parallel measurement phase fans out.
+     *
+     * Under a shard spec, the full job list is still expanded and
+     * persisted to the manifest, but only this shard's slice is
+     * measured and returned (result.totalJobs keeps the full
+     * count); once every shard has run against the shared cache
+     * directory, `mprobe_campaign --merge` assembles the complete
+     * export from the manifest and the cache.
      */
     CampaignResult run(Architecture &arch);
 
@@ -129,6 +151,16 @@ class Campaign
      * workloads are measured on different configuration subsets.
      * Samples come back program-major, each program's configs in
      * the order listed.
+     *
+     * Both overloads persist (merge-accumulate) their expanded job
+     * list into the cache directory's manifest, so --resume and
+     * --merge cover bench/pipeline measurements too. Under a shard
+     * spec only the shard's slice is measured; off-shard slots are
+     * filled from the shared cache when another shard already
+     * measured them, and otherwise left as placeholder samples
+     * (correct workload/config, zeroed measurements) with a
+     * warning — a sharded bench run warms the cache, the final
+     * unsharded (all-hit) run computes the figures.
      */
     std::vector<Sample>
     measure(const std::vector<Program> &programs,
@@ -155,10 +187,16 @@ class Campaign
                const std::vector<std::vector<ChipConfig>> &configs_per)
         const;
 
-    /** Execute pre-expanded jobs on the pool; the parallel phase. */
+    /**
+     * Execute pre-expanded jobs on the pool; the parallel phase.
+     * @p campaign_total is the full campaign's job count (the
+     * progress-line denominator context when @p jobs is a shard
+     * slice of it).
+     */
     std::vector<Sample>
     runJobs(const std::vector<CampaignWorkload> &workloads,
-            const std::vector<CampaignJob> &jobs);
+            const std::vector<CampaignJob> &jobs,
+            size_t campaign_total);
 
     /** Persist the job manifest next to the cache (resume). */
     void

@@ -8,6 +8,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <sstream>
 
 #include "util/fileio.hh"
@@ -101,6 +102,11 @@ manifestFromText(const std::string &text, CampaignManifest &out)
             } catch (const std::exception &) {
                 return false;
             }
+            // No campaign ever plans a job on fewer than one core
+            // or SMT thread; such an entry (e.g. a corrupt "0-0")
+            // is a parse failure, not a ChipConfig{0,0} job.
+            if (e.config.cores < 1 || e.config.smt < 1)
+                return false;
             // The source may itself contain spaces ("Simple
             // Integer"): everything between the config and the tab.
             auto src_at = val.find(head[1]) + head[1].size();
@@ -119,6 +125,29 @@ void
 saveManifest(const std::string &path, const CampaignManifest &m)
 {
     atomicWriteFile(path, manifestToText(m), "manifest");
+}
+
+void
+mergeSaveManifest(const std::string &path,
+                  const CampaignManifest &m)
+{
+    CampaignManifest existing;
+    if (!loadManifest(path, existing) ||
+        existing.fingerprint != m.fingerprint) {
+        saveManifest(path, m);
+        return;
+    }
+    std::set<uint64_t> seen;
+    for (const auto &e : existing.entries)
+        seen.insert(e.key);
+    bool grew = false;
+    for (const auto &e : m.entries)
+        if (seen.insert(e.key).second) {
+            existing.entries.push_back(e);
+            grew = true;
+        }
+    if (grew)
+        saveManifest(path, existing);
 }
 
 bool
@@ -143,6 +172,22 @@ remainingJobs(const CampaignManifest &m, const ResultCache &cache)
     for (const auto &e : m.entries)
         if (!cache.contains(e.key))
             out.push_back(e);
+    return out;
+}
+
+ManifestCollection
+collectManifestSamples(const CampaignManifest &m,
+                       const ResultCache &cache)
+{
+    ManifestCollection out;
+    out.samples.reserve(m.entries.size());
+    for (const auto &e : m.entries) {
+        Sample s;
+        if (cache.peek(e.key, s))
+            out.samples.push_back(std::move(s));
+        else
+            out.missing.push_back(e);
+    }
     return out;
 }
 

@@ -73,8 +73,45 @@ bool manifestFromText(const std::string &text, CampaignManifest &out);
 /** Atomically write @p m to @p path (warn-and-drop on I/O errors). */
 void saveManifest(const std::string &path, const CampaignManifest &m);
 
+/**
+ * Save @p m, merging with an existing manifest at @p path when that
+ * manifest carries the same fingerprint: existing entries keep
+ * their order, entries of @p m with unseen keys are appended. A
+ * missing or different-fingerprint manifest is overwritten. This
+ * lets the measure() overloads accumulate one manifest across many
+ * calls (the model pipeline issues several per run) and lets every
+ * shard of one campaign persist the identical full job list.
+ * Concurrent same-fingerprint writers with *different* entry sets
+ * can lose each other's additions (load-merge-store is not
+ * transactional); shards of one campaign write identical content,
+ * so the race is harmless there.
+ */
+void mergeSaveManifest(const std::string &path,
+                       const CampaignManifest &m);
+
 /** Load a manifest; returns false if missing or malformed. */
 bool loadManifest(const std::string &path, CampaignManifest &out);
+
+/** What collectManifestSamples found in the cache. */
+struct ManifestCollection
+{
+    /** One sample per covered entry, in manifest order. */
+    std::vector<Sample> samples;
+    /** Entries whose cache files are missing or corrupt. */
+    std::vector<ManifestEntry> missing;
+};
+
+/**
+ * Resolve every manifest entry against the cache, in manifest
+ * order — the merge step of a sharded campaign. When missing comes
+ * back empty, samples is the complete campaign: exporting it is
+ * bit-identical to the export of an unsharded run, because the
+ * manifest preserves job order and cached samples round-trip
+ * exactly. Does not touch @p cache statistics.
+ */
+ManifestCollection
+collectManifestSamples(const CampaignManifest &m,
+                       const ResultCache &cache);
 
 /**
  * Entries of @p m whose results are not yet in @p cache — the jobs

@@ -16,7 +16,9 @@
 #include <algorithm>
 #include <atomic>
 #include <cstddef>
+#include <exception>
 #include <functional>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -47,6 +49,13 @@ resolveThreads(int threads, const char *what)
  * indices are done. threads <= 1 runs inline on the caller's thread
  * (no pool), which is also the reference behaviour parallel runs
  * must reproduce bit-for-bit.
+ *
+ * An exception thrown by @p fn on a worker is captured and rethrown
+ * on the calling thread after all workers have joined (an uncaught
+ * exception inside std::thread would std::terminate the process).
+ * Only the first exception survives; once one is captured, workers
+ * stop pulling new indices, so some indices may never run. Callers
+ * must not assume partial results are complete on that path.
  */
 inline void
 parallelFor(int threads, size_t n,
@@ -61,12 +70,22 @@ parallelFor(int threads, size_t n,
         threads = static_cast<int>(n);
 
     std::atomic<size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr first;
+    std::mutex first_mutex;
     auto worker = [&]() {
-        for (;;) {
+        while (!failed.load(std::memory_order_relaxed)) {
             size_t i = next.fetch_add(1);
             if (i >= n)
                 return;
-            fn(i);
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(first_mutex);
+                if (!first)
+                    first = std::current_exception();
+                failed.store(true);
+            }
         }
     };
     std::vector<std::thread> pool;
@@ -75,6 +94,8 @@ parallelFor(int threads, size_t n,
         pool.emplace_back(worker);
     for (auto &th : pool)
         th.join();
+    if (first)
+        std::rethrow_exception(first);
 }
 
 } // namespace mprobe

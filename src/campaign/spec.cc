@@ -39,6 +39,10 @@ CampaignSpec::contentSummary() const
         os << sep() << "DAXPY";
     if (extremes)
         os << sep() << "extremes";
+    // Measurement-only specs (benches, the model pipeline) select
+    // no generated source; their workloads arrive via measure().
+    if (!any)
+        os << "adhoc measurement";
     os << " x " << configs.size() << " configs";
     return os.str();
 }
@@ -54,6 +58,8 @@ CampaignSpec::summary() const
         os << threads << (threads == 1 ? " thread" : " threads");
     if (!cacheDir.empty())
         os << ", cache " << cacheDir;
+    if (sharded())
+        os << ", shard " << shardIndex << "/" << shardCount;
     return os.str();
 }
 
@@ -75,6 +81,23 @@ parseConfigList(const std::string &s, const std::string &context)
     if (out.empty())
         fatal(cat("empty config list in ", context));
     return out;
+}
+
+void
+parseShard(const std::string &s, const std::string &context,
+           int &index, int &count)
+{
+    auto parts = split(trim(s), '/');
+    if (parts.size() != 2)
+        fatal(cat("bad shard '", trim(s),
+                  "' (want index/count, e.g. 0/4) in ", context));
+    index = static_cast<int>(parseInt(parts[0], context));
+    count = static_cast<int>(parseInt(parts[1], context));
+    if (count < 1)
+        fatal(cat("shard count must be >= 1 in ", context));
+    if (index < 0 || index >= count)
+        fatal(cat("shard index ", index, " out of range [0, ",
+                  count, ") in ", context));
 }
 
 BenchCategory
@@ -164,6 +187,15 @@ parseCampaignSpecText(const std::string &text,
                 static_cast<uint64_t>(parseInt(val, context));
         } else if (key == "bootstrap") {
             spec.bootstrap = parseInt(val, context) != 0;
+        } else if (key == "shard") {
+            parseShard(val, context, spec.shardIndex,
+                       spec.shardCount);
+        } else if (key == "progress_seconds") {
+            spec.progressSeconds = parseDouble(val, context);
+            if (spec.progressSeconds < 0)
+                fatal(cat("progress_seconds must be >= 0 "
+                          "(0 = disabled) in ",
+                          context));
         } else if (key == "seed") {
             spec.suite.seed =
                 static_cast<uint64_t>(parseInt(val, context));

@@ -72,7 +72,37 @@ struct CampaignSpec
     /** Bootstrap the architecture before generation (IPC-targeted
      * categories need measured latencies). */
     bool bootstrap = true;
+    /**
+     * Shard selection ("shard = i/n"): this process measures only
+     * the jobs whose stable expansion index satisfies
+     * index % shardCount == shardIndex. The union over all shards
+     * is exactly the unsharded campaign; the manifest always lists
+     * the full job list, so any shard's cache directory can answer
+     * --resume and --merge for the whole campaign. Execution
+     * detail: never part of job keys or the campaign fingerprint.
+     */
+    int shardIndex = 0;
+    int shardCount = 1;
+    /** Seconds between "k of n jobs done" progress lines while
+     * measuring (0 disables). */
+    double progressSeconds = 10.0;
+    /**
+     * Identity of a measure()-provided corpus, mixed into the
+     * campaign fingerprint (manifest identity) but never into job
+     * keys. Spec-driven campaigns leave it 0 — their corpus is
+     * described by the generation knobs the fingerprint already
+     * hashes — but measure() callers (benches, the model pipeline)
+     * supply workloads the fingerprint cannot see; tagging the
+     * knobs that shaped them keeps e.g. a fast-mode corpus's
+     * manifest from accumulating into a full-size one in the same
+     * cache directory (shared cache *entries* are always fine:
+     * job keys hash content).
+     */
+    uint64_t corpusTag = 0;
     /**@}*/
+
+    /** Whether this spec selects a strict subset of the jobs. */
+    bool sharded() const { return shardCount > 1; }
 
     /** Workloads per config is not knowable before generation, but
      * configs-per-workload is: */
@@ -103,6 +133,14 @@ CampaignSpec loadCampaignSpec(const std::string &path);
 /** Parse "all" or a comma-separated "cores-smt" list. */
 std::vector<ChipConfig> parseConfigList(const std::string &s,
                                         const std::string &context);
+
+/**
+ * Parse a shard selector "i/n" (0 <= i < n, n >= 1) as accepted by
+ * the `shard` spec key and `mprobe_campaign --shard`. fatal() with
+ * @p context on malformed input.
+ */
+void parseShard(const std::string &s, const std::string &context,
+                int &index, int &count);
 
 /** Parse a category name as used in spec files (e.g. "memory"). */
 BenchCategory parseBenchCategory(const std::string &s,

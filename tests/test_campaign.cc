@@ -12,6 +12,7 @@
 #include <fstream>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 
 #include "campaign/campaign.hh"
 #include "campaign/export.hh"
@@ -682,4 +683,387 @@ TEST(Export, FileExtensionSelectsFormat)
     std::getline(fc, first_csv);
     EXPECT_EQ(first_json, "[");
     EXPECT_EQ(first_csv.rfind("workload,", 0), 0u);
+}
+
+// ---------------------------------------------------------------
+// Worker failure paths
+
+TEST(ParallelFor, WorkerExceptionRethrownOnCaller)
+{
+    // An uncaught exception inside std::thread would terminate the
+    // process; parallelFor must surface it on the calling thread.
+    for (int threads : {1, 4}) {
+        try {
+            parallelFor(threads, 100, [](size_t i) {
+                if (i == 37)
+                    throw std::runtime_error("job 37 failed");
+            });
+            FAIL() << "no exception at " << threads << " threads";
+        } catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "job 37 failed") << threads;
+        }
+    }
+}
+
+TEST(ParallelFor, FirstExceptionWinsAndWorkersStop)
+{
+    // Every index throws; exactly one exception must surface, and
+    // the pool must still join cleanly.
+    std::atomic<int> ran{0};
+    EXPECT_THROW(parallelFor(4, 1000,
+                             [&](size_t) {
+                                 ++ran;
+                                 throw std::runtime_error("boom");
+                             }),
+                 std::runtime_error);
+    // Workers stop pulling indices once a failure is recorded.
+    EXPECT_LT(ran.load(), 1000);
+}
+
+TEST(CampaignMeasure, WorkerExceptionDoesNotTerminate)
+{
+    // The acceptance bar: an exception thrown inside a campaign
+    // job surfaces on the caller's thread. Simulate a job failure
+    // via parallelFor with the campaign's own thread resolution.
+    int threads = resolveThreads(0, "test");
+    EXPECT_THROW(
+        parallelFor(threads, 64,
+                    [](size_t i) {
+                        if (i % 7 == 3)
+                            throw std::runtime_error("probe died");
+                    }),
+        std::runtime_error);
+}
+
+// ---------------------------------------------------------------
+// Corrupt-entry rejection (non-positive configurations)
+
+TEST(SampleText, RejectsNonPositiveConfig)
+{
+    Sample s;
+    s.workload = "w";
+    s.config = {1, 1};
+    s.rates = {1, 2, 3, 4, 5, 6, 7};
+    s.powerWatts = 70.0;
+    s.instrGips = 1.0;
+    s.coreIpc = 1.0;
+    std::string good = sampleToText(s);
+    Sample t;
+    ASSERT_TRUE(sampleFromText(good, t));
+    // A corrupt "config 0-0" (or any non-positive pair) must parse
+    // as a miss, never feed ChipConfig{0,0} downstream.
+    for (const char *bad : {"0-0", "0-1", "1-0", "-1-1", "1--2"}) {
+        std::string text = good;
+        auto at = text.find("config 1-1");
+        ASSERT_NE(at, std::string::npos);
+        text.replace(at, 10, cat("config ", bad));
+        EXPECT_FALSE(sampleFromText(text, t)) << bad;
+    }
+}
+
+TEST(CampaignManifest, RejectsNonPositiveConfig)
+{
+    CampaignManifest m;
+    m.spec = "s";
+    m.fingerprint = 1;
+    m.entries.push_back({1, {1, 1}, "adhoc", "w"});
+    std::string good = manifestToText(m);
+    CampaignManifest t;
+    ASSERT_TRUE(manifestFromText(good, t));
+    for (const char *bad : {"0-0", "0-1", "1-0"}) {
+        std::string text = good;
+        auto at = text.find(" 1-1 ");
+        ASSERT_NE(at, std::string::npos);
+        text.replace(at, 5, cat(" ", bad, " "));
+        CampaignManifest u;
+        EXPECT_FALSE(manifestFromText(text, u)) << bad;
+    }
+}
+
+// ---------------------------------------------------------------
+// Shard parsing and partitioning
+
+TEST(CampaignSpec, ShardAndProgressKeysParse)
+{
+    CampaignSpec spec = parseCampaignSpecText(
+        "shard = 2/5\n"
+        "progress_seconds = 0.5\n",
+        "<test>");
+    EXPECT_EQ(spec.shardIndex, 2);
+    EXPECT_EQ(spec.shardCount, 5);
+    EXPECT_TRUE(spec.sharded());
+    EXPECT_EQ(spec.progressSeconds, 0.5);
+    // Defaults: unsharded.
+    CampaignSpec def = parseCampaignSpecText("", "<test>");
+    EXPECT_FALSE(def.sharded());
+    EXPECT_EQ(def.shardIndex, 0);
+    EXPECT_EQ(def.shardCount, 1);
+}
+
+TEST(CampaignSpecDeath, BadShardFatal)
+{
+    EXPECT_EXIT(parseCampaignSpecText("shard = 3\n", "<test>"),
+                testing::ExitedWithCode(1), "bad shard");
+    EXPECT_EXIT(parseCampaignSpecText("shard = 2/2\n", "<test>"),
+                testing::ExitedWithCode(1), "out of range");
+    EXPECT_EXIT(parseCampaignSpecText("shard = 0/0\n", "<test>"),
+                testing::ExitedWithCode(1), "count must be >= 1");
+    EXPECT_EXIT(parseCampaignSpecText("shard = -1/2\n", "<test>"),
+                testing::ExitedWithCode(1), "out of range");
+}
+
+TEST(CampaignShard, IndicesPartitionStably)
+{
+    for (int count : {1, 2, 3, 5}) {
+        std::vector<char> seen(17, 0);
+        for (int index = 0; index < count; ++index)
+            for (size_t i : shardIndices(17, index, count)) {
+                EXPECT_EQ(i % static_cast<size_t>(count),
+                          static_cast<size_t>(index));
+                EXPECT_EQ(seen[i], 0) << "overlap at " << i;
+                seen[i] = 1;
+            }
+        for (size_t i = 0; i < seen.size(); ++i)
+            EXPECT_EQ(seen[i], 1) << "hole at " << i;
+    }
+}
+
+// ---------------------------------------------------------------
+// Sharded execution: union == unsharded, merge bit-identity
+
+TEST(CampaignShard, UnionEqualsUnshardedAndMergeIsBitIdentical)
+{
+    Fixture f;
+
+    // Serial unsharded reference.
+    CampaignSpec ref_spec = tinySpec();
+    ref_spec.threads = 1;
+    ref_spec.cacheDir = freshCacheDir("shard-ref");
+    Campaign ref(f.machine, ref_spec);
+    CampaignResult r = ref.run(f.arch);
+    EXPECT_EQ(r.totalJobs, r.jobs.size());
+    std::ostringstream ref_csv;
+    exportSamplesCsv(ref_csv, r.samples);
+
+    for (int count : {2, 3}) {
+        CampaignSpec spec = tinySpec();
+        spec.cacheDir =
+            freshCacheDir(cat("shard-", count, "way"));
+        spec.shardCount = count;
+
+        std::set<uint64_t> seen;
+        size_t slice_total = 0;
+        for (int index = 0; index < count; ++index) {
+            spec.shardIndex = index;
+            Campaign shard(f.machine, spec);
+            CampaignResult sr = shard.run(f.arch);
+            EXPECT_EQ(sr.totalJobs, r.jobs.size()) << index;
+            // Fresh cache: every slice job is measured here, and
+            // no slice overlaps another.
+            EXPECT_EQ(sr.cacheHits, 0u) << index;
+            slice_total += sr.jobs.size();
+            for (size_t i = 0; i < sr.jobs.size(); ++i) {
+                EXPECT_TRUE(seen.insert(sr.jobs[i].key).second)
+                    << "key measured twice in shard " << index;
+                EXPECT_EQ(sr.samples[i].workload,
+                          r.workloads[sr.jobs[i].workload]
+                              .program.name);
+            }
+        }
+        // Union of the slices is exactly the unsharded job list.
+        EXPECT_EQ(slice_total, r.jobs.size());
+        for (const auto &job : r.jobs)
+            EXPECT_EQ(seen.count(job.key), 1u);
+
+        // Merge: manifest + cache reassemble the full campaign,
+        // and its export is byte-identical to the unsharded run.
+        CampaignManifest m;
+        ASSERT_TRUE(loadManifest(manifestPath(spec.cacheDir), m));
+        ASSERT_EQ(m.entries.size(), r.jobs.size());
+        ResultCache cache(spec.cacheDir);
+        ManifestCollection col = collectManifestSamples(m, cache);
+        EXPECT_TRUE(col.missing.empty());
+        std::ostringstream merged_csv;
+        exportSamplesCsv(merged_csv, col.samples);
+        EXPECT_EQ(merged_csv.str(), ref_csv.str())
+            << count << "-way merge not bit-identical";
+    }
+}
+
+TEST(CampaignShard, IncompleteMergeReportsMissing)
+{
+    Fixture f;
+    CampaignSpec spec = tinySpec();
+    spec.cacheDir = freshCacheDir("shard-partial");
+    spec.shardCount = 2;
+    spec.shardIndex = 0;
+    Campaign shard0(f.machine, spec);
+    CampaignResult sr = shard0.run(f.arch);
+
+    CampaignManifest m;
+    ASSERT_TRUE(loadManifest(manifestPath(spec.cacheDir), m));
+    ResultCache cache(spec.cacheDir);
+    ManifestCollection col = collectManifestSamples(m, cache);
+    // Exactly the other shard's jobs are missing.
+    EXPECT_EQ(col.missing.size(),
+              sr.totalJobs - sr.jobs.size());
+    EXPECT_EQ(col.samples.size(), sr.jobs.size());
+    for (const auto &e : col.missing)
+        EXPECT_TRUE(cache.contains(e.key) == false);
+}
+
+TEST(CampaignShardDeath, ShardWithoutCacheFatal)
+{
+    Fixture f;
+    CampaignSpec spec = tinySpec();
+    spec.shardCount = 2;
+    EXPECT_EXIT(Campaign(f.machine, spec),
+                testing::ExitedWithCode(1),
+                "needs a cache directory");
+}
+
+// ---------------------------------------------------------------
+// Manifest coverage of measure()
+
+TEST(CampaignMeasure, WritesAndAccumulatesManifest)
+{
+    Fixture f;
+    auto progs = f.programs(3);
+    std::vector<ChipConfig> cfgs = {{1, 1}, {2, 1}};
+    CampaignSpec spec = tinySpec();
+    spec.cacheDir = freshCacheDir("measure-manifest");
+
+    Campaign c(f.machine, spec);
+    auto s1 = c.measure(progs, cfgs);
+
+    CampaignManifest m;
+    ASSERT_TRUE(loadManifest(manifestPath(spec.cacheDir), m));
+    EXPECT_EQ(m.entries.size(), progs.size() * cfgs.size());
+    for (const auto &e : m.entries)
+        EXPECT_EQ(e.source, "adhoc");
+    // Everything measured: resume has nothing left.
+    ResultCache cache(spec.cacheDir);
+    EXPECT_TRUE(remainingJobs(m, cache).empty());
+
+    // A second measure() call with new programs accumulates into
+    // the same manifest (the model pipeline issues several calls).
+    auto more = f.programs(2, 96);
+    Campaign c2(f.machine, spec);
+    c2.measure(more, cfgs);
+    CampaignManifest m2;
+    ASSERT_TRUE(loadManifest(manifestPath(spec.cacheDir), m2));
+    EXPECT_EQ(m2.entries.size(),
+              (progs.size() + more.size()) * cfgs.size());
+    // Existing entries keep their order at the front.
+    for (size_t i = 0; i < m.entries.size(); ++i)
+        EXPECT_EQ(m2.entries[i].key, m.entries[i].key) << i;
+}
+
+TEST(CampaignMeasure, ShardedMeasureFillsOffShardFromCache)
+{
+    Fixture f;
+    auto progs = f.programs(3);
+    std::vector<ChipConfig> cfgs = {{1, 1}, {2, 1}};
+
+    // Unsharded reference (no cache: pure measurement).
+    Campaign ref(f.machine, tinySpec());
+    auto want = ref.measure(progs, cfgs);
+
+    CampaignSpec spec = tinySpec();
+    spec.cacheDir = freshCacheDir("measure-shard");
+    spec.shardCount = 2;
+
+    // Shard 0 on a cold cache: its slice matches the reference,
+    // off-shard slots are placeholders (nothing measured them yet)
+    // with the right workload/config.
+    spec.shardIndex = 0;
+    Campaign c0(f.machine, spec);
+    auto got0 = c0.measure(progs, cfgs);
+    ASSERT_EQ(got0.size(), want.size());
+    for (size_t i = 0; i < got0.size(); ++i) {
+        EXPECT_EQ(got0[i].workload, want[i].workload) << i;
+        EXPECT_EQ(got0[i].config.cores, want[i].config.cores) << i;
+        if (i % 2 == 0)
+            EXPECT_TRUE(samplesEqual(got0[i], want[i])) << i;
+        else
+            EXPECT_EQ(got0[i].powerWatts, 0.0) << i;
+    }
+
+    // Shard 1 completes the cache; an unsharded all-hit pass now
+    // reproduces the reference everywhere.
+    spec.shardIndex = 1;
+    Campaign c1(f.machine, spec);
+    c1.measure(progs, cfgs);
+
+    CampaignSpec full = tinySpec();
+    full.cacheDir = spec.cacheDir;
+    Campaign cf(f.machine, full);
+    auto got = cf.measure(progs, cfgs);
+    EXPECT_EQ(cf.cacheMisses(), 0u);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i)
+        EXPECT_TRUE(samplesEqual(got[i], want[i])) << i;
+
+    // ...and shard 0 re-run against the warm cache returns the
+    // reference everywhere too (off-shard slots fill from cache).
+    spec.shardIndex = 0;
+    Campaign c0b(f.machine, spec);
+    auto got0b = c0b.measure(progs, cfgs);
+    for (size_t i = 0; i < got0b.size(); ++i)
+        EXPECT_TRUE(samplesEqual(got0b[i], want[i])) << i;
+}
+
+// ---------------------------------------------------------------
+// Progress reporting
+
+TEST(CampaignProgress, DisabledEmitsNoProgressLines)
+{
+    Fixture f;
+    auto progs = f.programs(2);
+    CampaignSpec spec = tinySpec();
+    spec.progressSeconds = 0;
+    Campaign c(f.machine, spec);
+    testing::internal::CaptureStderr();
+    c.measure(progs, {ChipConfig{1, 1}, ChipConfig{2, 1}});
+    std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_EQ(err.find("jobs done"), std::string::npos);
+}
+
+TEST(CampaignProgress, PeriodicLinesReportCounts)
+{
+    Fixture f;
+    // Large-ish serial batch with a (practically) zero reporting
+    // interval: every job past the first elapsed millisecond
+    // reports, except the final one (the completion line covers
+    // it).
+    auto progs = f.programs(4, 768);
+    CampaignSpec spec = tinySpec();
+    spec.threads = 1;
+    spec.progressSeconds = 0.001;
+    Campaign c(f.machine, spec);
+    testing::internal::CaptureStderr();
+    c.measure(progs, {ChipConfig{1, 1}, ChipConfig{2, 2},
+                      ChipConfig{4, 2}});
+    std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("of 12 jobs done"), std::string::npos)
+        << err;
+}
+
+TEST(CampaignFingerprint, CorpusTagSeparatesManifests)
+{
+    // measure()-provided corpora are invisible to the fingerprint;
+    // the corpus tag stands in for them, so differently-shaped
+    // corpora (fast vs. full bench modes) sharing one cache
+    // directory keep separate manifests. Job keys never include
+    // it: cache entries are shared freely.
+    Fixture f;
+    CampaignSpec a = tinySpec();
+    CampaignSpec b = tinySpec();
+    b.corpusTag = 0xfa57ull;
+    uint64_t fp = f.machine.fingerprint();
+    EXPECT_NE(campaignFingerprint(a, fp),
+              campaignFingerprint(b, fp));
+    auto progs = f.programs(1);
+    EXPECT_EQ(campaignJobKey(progs[0], {1, 1}, fp, 0),
+              campaignJobKey(progs[0], {1, 1}, fp, 0));
 }

@@ -517,3 +517,67 @@ TEST(ArgParser, UsageListsOptions)
     EXPECT_NE(u.find("loop body size"), std::string::npos);
     EXPECT_NE(u.find("--run"), std::string::npos);
 }
+
+// ---------------------------------------------------------------
+// Filesystem helpers
+
+#include <filesystem>
+#include <fstream>
+
+#include "util/fileio.hh"
+
+namespace
+{
+
+/** Number of "<base>.tmp.*" leftovers next to @p base. */
+size_t
+tempCount(const std::filesystem::path &base)
+{
+    size_t n = 0;
+    std::string prefix = base.filename().string() + ".tmp.";
+    for (const auto &e :
+         std::filesystem::directory_iterator(base.parent_path()))
+        if (e.path().filename().string().rfind(prefix, 0) == 0)
+            ++n;
+    return n;
+}
+
+} // namespace
+
+TEST(AtomicWriteFile, PublishesContent)
+{
+    std::filesystem::path dir =
+        std::filesystem::path(testing::TempDir()) /
+        "mprobe-fileio-ok";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    std::filesystem::path target = dir / "out.txt";
+    ASSERT_TRUE(atomicWriteFile(target.string(), "payload\n",
+                                "test"));
+    std::ifstream f(target);
+    std::string line;
+    ASSERT_TRUE(std::getline(f, line));
+    EXPECT_EQ(line, "payload");
+    EXPECT_EQ(tempCount(target), 0u);
+}
+
+TEST(AtomicWriteFile, FailedRenameRemovesTemp)
+{
+    // Make the final rename fail by using a non-empty directory as
+    // the target path: the temp write succeeds, the publish
+    // cannot. The temp must not be leaked — shard runs share cache
+    // directories, and leaked .tmp.<pid>.<tid> files would
+    // accumulate across processes.
+    std::filesystem::path dir =
+        std::filesystem::path(testing::TempDir()) /
+        "mprobe-fileio-fail";
+    std::filesystem::remove_all(dir);
+    std::filesystem::path target = dir / "occupied";
+    std::filesystem::create_directories(target);
+    std::ofstream(target / "resident") << "x";
+    EXPECT_FALSE(atomicWriteFile(target.string(), "payload\n",
+                                 "test"));
+    EXPECT_EQ(tempCount(target), 0u);
+    // The target is untouched.
+    EXPECT_TRUE(std::filesystem::is_directory(target));
+}

@@ -10,6 +10,9 @@
  *                   --json suite.json
  *   mprobe-campaign --spec train.spec --cache-dir .mprobe-cache \
  *                   --resume
+ *   mprobe-campaign --spec train.spec --cache-dir shared \
+ *                   --shard 0/2          # and 1/2 elsewhere
+ *   mprobe-campaign --cache-dir shared --merge --csv samples.csv
  */
 
 #include <algorithm>
@@ -115,6 +118,62 @@ writeMetricsJson(const std::string &path, const CampaignSpec &spec,
         fatal(cat("short write to metrics file '", path, "'"));
 }
 
+/**
+ * The merge step of a sharded campaign: read the manifest next to
+ * the shared cache, verify every job key has a cached result, and
+ * export the unified sample set in manifest (= job) order — byte
+ * identical to the export of the same campaign run unsharded.
+ * Exits the process (no measurement happens on this path).
+ */
+[[noreturn]] void
+runMerge(const std::string &cache_dir, const std::string &csv,
+         const std::string &json)
+{
+    if (cache_dir.empty())
+        fatal("--merge needs a cache directory (--cache-dir or "
+              "cache_dir in the spec): the manifest and the "
+              "shard results live there");
+    CampaignManifest m;
+    if (!loadManifest(manifestPath(cache_dir), m))
+        fatal(cat("--merge: no manifest under '", cache_dir,
+                  "' — run the campaign's shards with this cache "
+                  "directory first"));
+    ResultCache cache(cache_dir);
+    ManifestCollection col = collectManifestSamples(m, cache);
+    if (!col.missing.empty()) {
+        const size_t list_cap = 20;
+        std::cout << "merge: " << col.missing.size() << " of "
+                  << m.entries.size()
+                  << " jobs have no cached result:\n";
+        for (size_t i = 0;
+             i < col.missing.size() && i < list_cap; ++i)
+            std::cout << "  missing: " << col.missing[i].workload
+                      << " @ " << col.missing[i].config.label()
+                      << " (" << col.missing[i].source << ")\n";
+        if (col.missing.size() > list_cap)
+            std::cout << "  ... and "
+                      << col.missing.size() - list_cap
+                      << " more\n";
+        fatal("--merge: campaign incomplete — run the remaining "
+              "shards (or --resume) into this cache directory, "
+              "then merge again");
+    }
+    std::cout << "merge: " << col.samples.size()
+              << " samples assembled from \"" << m.spec << "\"\n";
+    if (csv.empty() && json.empty())
+        warn("--merge without --csv/--json verifies completeness "
+             "but exports nothing");
+    if (!csv.empty()) {
+        exportSamples(csv, col.samples, SampleFormat::Csv);
+        std::cout << "wrote " << csv << "\n";
+    }
+    if (!json.empty()) {
+        exportSamples(json, col.samples, SampleFormat::Json);
+        std::cout << "wrote " << json << "\n";
+    }
+    std::exit(0);
+}
+
 } // namespace
 
 int
@@ -135,6 +194,17 @@ main(int argc, char **argv)
                    "override: on-disk result cache directory");
     args.addOption("salt", "",
                    "override: extra measurement salt");
+    args.addOption("shard", "",
+                   "measure only shard i/n of the job list (e.g. "
+                   "0/4); all shards share --cache-dir, --merge "
+                   "assembles the union");
+    args.addOption("progress-seconds", "",
+                   "override: seconds between progress lines "
+                   "while measuring (0 disables)");
+    args.addFlag("merge",
+                 "no measurement: verify every manifest job has a "
+                 "cached result and export the unified samples "
+                 "(the merge step after sharded runs)");
     args.addOption("csv", "", "export samples as CSV to this path");
     args.addOption("json", "",
                    "export samples as JSON to this path");
@@ -167,6 +237,27 @@ main(int argc, char **argv)
     if (!args.get("salt").empty())
         spec.salt = static_cast<uint64_t>(
             parseInt(args.get("salt"), "--salt"));
+    if (!args.get("shard").empty())
+        parseShard(args.get("shard"), "--shard", spec.shardIndex,
+                   spec.shardCount);
+    if (!args.get("progress-seconds").empty()) {
+        spec.progressSeconds =
+            parseDouble(args.get("progress-seconds"),
+                        "--progress-seconds");
+        if (spec.progressSeconds < 0)
+            fatal("--progress-seconds must be >= 0 "
+                  "(0 = disabled)");
+    }
+
+    if (args.getFlag("merge")) {
+        // Check the effective spec, so a `shard =` key loaded from
+        // the spec file is rejected like the --shard flag.
+        if (args.getFlag("resume") || spec.sharded())
+            fatal("--merge is a standalone step; it does not "
+                  "combine with --shard or --resume");
+        runMerge(spec.cacheDir, args.get("csv"),
+                 args.get("json"));
+    }
 
     std::cout << spec.summary() << "\n";
 
@@ -213,6 +304,13 @@ main(int argc, char **argv)
                                         static_cast<double>(total),
                                     1)
                   << "% hit rate)";
+    const CampaignSpec &run_spec = campaign.specRef();
+    if (run_spec.sharded())
+        std::cout << "\nshard " << run_spec.shardIndex << "/"
+                  << run_spec.shardCount << " measured "
+                  << res.jobs.size() << " of " << res.totalJobs
+                  << " campaign jobs; run all shards into this "
+                     "cache, then --merge for the unified export";
     std::cout << "\n";
 
     if (!args.get("metrics-json").empty()) {
