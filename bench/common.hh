@@ -62,7 +62,10 @@ envCacheDir()
  * MPROBE_CACHE_DIR): a sharded bench run measures only its slice
  * of the corpus into the shared cache — its printed figures are
  * partial — and the final unsharded run regenerates the figure
- * from all cache hits.
+ * from all cache hits. Slices are cost-weighted (LPT striping over
+ * estimated job cost, see campaign/cost.hh), so a mixed-config
+ * corpus splits into shards of near-equal wall time, not just
+ * equal job counts.
  */
 inline void
 envShard(int &index, int &count)

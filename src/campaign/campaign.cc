@@ -5,8 +5,10 @@
 
 #include "campaign/campaign.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <numeric>
 
 #include "campaign/manifest.hh"
 #include "campaign/queue.hh"
@@ -92,6 +94,17 @@ shardIndices(size_t n, int index, int count)
 namespace
 {
 
+/** The estimated costs of @p jobs, in job order. */
+std::vector<double>
+jobCosts(const std::vector<CampaignJob> &jobs)
+{
+    std::vector<double> costs;
+    costs.reserve(jobs.size());
+    for (const auto &job : jobs)
+        costs.push_back(job.cost);
+    return costs;
+}
+
 /** The jobs at @p indices, in index order. */
 std::vector<CampaignJob>
 jobsAt(const std::vector<CampaignJob> &jobs,
@@ -105,6 +118,15 @@ jobsAt(const std::vector<CampaignJob> &jobs,
 }
 
 } // namespace
+
+std::vector<size_t>
+costAwareShardIndices(const std::vector<CampaignJob> &jobs,
+                      int index, int count)
+{
+    if (count < 1 || index < 0 || index >= count)
+        fatal(cat("campaign: bad shard ", index, "/", count));
+    return costStripedShard(jobCosts(jobs), index, count);
+}
 
 Campaign::Campaign(const Machine &m, CampaignSpec s)
     : machine(m), spec(std::move(s)), cache(spec.cacheDir),
@@ -206,7 +228,9 @@ Campaign::expandJobs(
             jobs.push_back(
                 {w, cfg,
                  campaignJobKey(workloads[w].program, cfg,
-                                machineFp, spec.salt)});
+                                machineFp, spec.salt),
+                 costModel.estimate(
+                     cfg, workloads[w].program.body.size())});
     }
     return jobs;
 }
@@ -265,10 +289,24 @@ Campaign::runJobs(const std::vector<CampaignWorkload> &workloads,
     std::atomic<size_t> cached{0};
     std::atomic<int64_t> next_report_ms{every_ms};
 
+    // Longest-job-first local execution order: with mixed configs
+    // the most expensive jobs start first, so the pool drains
+    // without a long-tail straggler holding the last worker. Only
+    // the *execution* order changes — each job still writes its own
+    // slot, so samples stay in job order and results are identical
+    // to a serial in-order run.
+    std::vector<size_t> exec_order(jobs.size());
+    std::iota(exec_order.begin(), exec_order.end(), 0);
+    std::stable_sort(exec_order.begin(), exec_order.end(),
+                     [&](size_t a, size_t b) {
+                         return jobs[a].cost > jobs[b].cost;
+                     });
+
     // Each job writes only its own slot: no result synchronization,
     // and sample order is scheduling-independent by construction.
     std::vector<Sample> samples(jobs.size());
-    parallelFor(spec.threads, jobs.size(), [&](size_t i) {
+    parallelFor(spec.threads, jobs.size(), [&](size_t q) {
+        size_t i = exec_order[q];
         const CampaignJob &job = jobs[i];
         Sample s;
         if (cache.lookup(job.key, s)) {
@@ -301,7 +339,7 @@ Campaign::runJobs(const std::vector<CampaignWorkload> &workloads,
             inform(cat("campaign: ", k, " of ", jobs.size(),
                        " jobs done, ", cached.load(), " cached",
                        shard_tag));
-    });
+    }, "campaign measure");
     return samples;
 }
 
@@ -324,9 +362,9 @@ Campaign::run(Architecture &arch)
     writeManifest(res.workloads, all_jobs);
     if (spec.sharded())
         res.jobs = jobsAt(all_jobs,
-                          shardIndices(all_jobs.size(),
-                                       spec.shardIndex,
-                                       spec.shardCount));
+                          costAwareShardIndices(all_jobs,
+                                                spec.shardIndex,
+                                                spec.shardCount));
     else
         res.jobs = std::move(all_jobs);
     size_t hits0 = cache.hits(), misses0 = cache.misses();
@@ -341,6 +379,46 @@ Campaign::run(Architecture &arch)
     inform(cat("campaign: done; cache ", res.cacheHits, " hits / ",
                res.cacheMisses, " misses"));
     return res;
+}
+
+CampaignPlan
+Campaign::plan(Architecture &arch, int shard_count)
+{
+    if (shard_count == 0)
+        shard_count = spec.shardCount;
+    if (shard_count < 1)
+        fatal(cat("campaign: bad plan shard count ", shard_count));
+
+    CampaignPlan out;
+    out.workloads = expandWorkloads(arch);
+    out.jobList = expandJobs(
+        out.workloads,
+        std::vector<std::vector<ChipConfig>>(out.workloads.size(),
+                                             spec.configs));
+    out.totalJobs = out.jobList.size();
+
+    std::vector<double> costs = jobCosts(out.jobList);
+    for (double c : costs)
+        out.totalCost += c;
+
+    std::vector<std::vector<size_t>> striped =
+        costStripedPartition(costs, shard_count);
+    std::vector<std::vector<size_t>> rr;
+    rr.reserve(static_cast<size_t>(shard_count));
+    for (int s = 0; s < shard_count; ++s)
+        rr.push_back(
+            shardIndices(out.totalJobs, s, shard_count));
+    out.stripedImbalance = costImbalance(costs, striped);
+    out.roundRobinImbalance = costImbalance(costs, rr);
+    for (int s = 0; s < shard_count; ++s) {
+        out.shards.push_back(
+            {striped[static_cast<size_t>(s)],
+             summedCost(costs, striped[static_cast<size_t>(s)])});
+        out.roundRobin.push_back(
+            {rr[static_cast<size_t>(s)],
+             summedCost(costs, rr[static_cast<size_t>(s)])});
+    }
+    return out;
 }
 
 namespace
@@ -393,8 +471,8 @@ Campaign::measure(
     // has measured yet stay placeholders (correct workload/config,
     // zeroed measurements): a sharded bench run warms the cache,
     // the final unsharded all-hit run computes the figures.
-    std::vector<size_t> mine = shardIndices(
-        jobs.size(), spec.shardIndex, spec.shardCount);
+    std::vector<size_t> mine = costAwareShardIndices(
+        jobs, spec.shardIndex, spec.shardCount);
     std::vector<Sample> measured =
         runJobs(workloads, jobsAt(jobs, mine), jobs.size());
 

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "campaign/cache.hh"
+#include "campaign/cost.hh"
 #include "campaign/spec.hh"
 #include "microprobe/arch.hh"
 #include "power/sample.hh"
@@ -40,6 +41,10 @@ struct CampaignJob
     ChipConfig config;
     /** Content hash: program + config + machine + salt. */
     uint64_t key = 0;
+    /** Estimated relative cost (JobCostModel), for cost-striped
+     * sharding and longest-first pool draining. Execution detail:
+     * never part of the key or the manifest. */
+    double cost = 0.0;
 };
 
 /** A generated workload with its provenance. */
@@ -98,14 +103,61 @@ uint64_t campaignFingerprint(const CampaignSpec &spec,
                              uint64_t machine_fingerprint);
 
 /**
- * Deterministic shard partition: the indices i in [0, n) with
- * i % count == index. Partitioning is by stable expansion index —
- * never by scheduling or cache state — so the union over all shards
- * of one campaign is exactly the unsharded job list, and adjacent
- * jobs (same workload, different configs) round-robin across
- * shards for balance.
+ * Count-balanced round-robin shard partition: the indices i in
+ * [0, n) with i % count == index. Superseded by cost-aware striping
+ * (costAwareShardIndices) for the engine's own shard selection —
+ * round-robin balances job counts, not job costs — but kept as the
+ * deterministic baseline the cost-striped schedule is measured
+ * against (tests, the --plan dry run and the shard-balance CI
+ * smoke report both).
  */
 std::vector<size_t> shardIndices(size_t n, int index, int count);
+
+/**
+ * The engine's shard partition: deterministic cost-weighted
+ * striping (LPT greedy over job.cost, see campaign/cost.hh) of the
+ * expanded job list. Like the round-robin partition it is a pure
+ * function of the (ordered) job list — never of scheduling or
+ * cache state — so every shard of one campaign computes the
+ * identical partition on its own, the union over all shards is
+ * exactly the unsharded job list, and --merge exports stay
+ * byte-identical to an unsharded run. Unlike round-robin, the
+ * summed estimated cost per shard is near-balanced even when the
+ * config mix is skewed (an 8-4 job costs ~32x a 1-1 job).
+ */
+std::vector<size_t>
+costAwareShardIndices(const std::vector<CampaignJob> &jobs,
+                      int index, int count);
+
+/** Per-shard slice of a campaign plan (--plan dry run). */
+struct CampaignShardPlan
+{
+    /** Expansion indices of this shard's jobs, ascending. */
+    std::vector<size_t> jobs;
+    /** Summed estimated cost of those jobs. */
+    double cost = 0.0;
+};
+
+/** What Campaign::plan computes: the cost-striped schedule of a
+ * campaign, next to the round-robin baseline it replaces. */
+struct CampaignPlan
+{
+    /** Full expanded job count. */
+    size_t totalJobs = 0;
+    /** Summed estimated cost of every job. */
+    double totalCost = 0.0;
+    /** Cost-striped shard slices (what the engine executes). */
+    std::vector<CampaignShardPlan> shards;
+    /** Round-robin slices of the same jobs (comparison baseline). */
+    std::vector<CampaignShardPlan> roundRobin;
+    /** max/min summed shard cost, both schemes (1 = perfect). */
+    double stripedImbalance = 1.0;
+    double roundRobinImbalance = 1.0;
+    /** The generated corpus behind the jobs (label lookups). */
+    std::vector<CampaignWorkload> workloads;
+    /** The expanded jobs the indices refer to. */
+    std::vector<CampaignJob> jobList;
+};
 
 /** The engine: expansion, scheduling, caching, collection. */
 class Campaign
@@ -133,6 +185,17 @@ class Campaign
      * export from the manifest and the cache.
      */
     CampaignResult run(Architecture &arch);
+
+    /**
+     * Dry run (--plan): generate the spec's workloads and expand
+     * its jobs exactly like run(), but partition instead of
+     * measuring — no manifest write, no cache traffic, no samples.
+     * @p shard_count overrides the spec's shard count (0 keeps it);
+     * an unsharded plan is one shard holding every job. Generation
+     * still runs (job costs need the generated body sizes), so a
+     * plan of an expensive spec costs its generation phase.
+     */
+    CampaignPlan plan(Architecture &arch, int shard_count = 0);
 
     /**
      * Lower-level entry: measure an explicit workload list across
@@ -177,6 +240,9 @@ class Campaign
     CampaignSpec spec;
     ResultCache cache;
     uint64_t machineFp;
+    /** Relative-cost estimator behind cost-striped sharding and
+     * longest-first local ordering. */
+    JobCostModel costModel;
 
     /** Expand spec workloads (generation phase). */
     std::vector<CampaignWorkload> expandWorkloads(Architecture &arch);

@@ -56,20 +56,45 @@ resolveThreads(int threads, const char *what)
  * Only the first exception survives; once one is captured, workers
  * stop pulling new indices, so some indices may never run. Callers
  * must not assume partial results are complete on that path.
+ *
+ * @p what labels the work for the abandonment warning emitted
+ * before the rethrow ("k of n indices completed, m abandoned").
+ * Callers whose indices *build* state that outlives the call —
+ * program construction, suite generation — must pass it: without
+ * the warning, a caller that swallows the exception upstream could
+ * mistake the partially-built state for a complete result. nullptr
+ * (pure measurement into discarded state, tests) logs nothing.
  */
 inline void
 parallelFor(int threads, size_t n,
-            const std::function<void(size_t)> &fn)
+            const std::function<void(size_t)> &fn,
+            const char *what = nullptr)
 {
     if (threads <= 1 || n <= 1) {
-        for (size_t i = 0; i < n; ++i)
-            fn(i);
+        for (size_t i = 0; i < n; ++i) {
+            try {
+                fn(i);
+            } catch (...) {
+                // The serial path abandons indices i+1..n-1 the
+                // same way the pool does: say so before the
+                // exception propagates.
+                if (what && n > 0)
+                    warn(cat(what, ": index ", i, " failed; ", i,
+                             " of ", n, " indices completed, ",
+                             n - i - 1,
+                             " abandoned — partial results are "
+                             "incomplete"));
+                throw;
+            }
+        }
         return;
     }
     if (static_cast<size_t>(threads) > n)
         threads = static_cast<int>(n);
 
     std::atomic<size_t> next{0};
+    std::atomic<size_t> completed{0};
+    std::atomic<size_t> thrown{0};
     std::atomic<bool> failed{false};
     std::exception_ptr first;
     std::mutex first_mutex;
@@ -80,7 +105,9 @@ parallelFor(int threads, size_t n,
                 return;
             try {
                 fn(i);
+                completed.fetch_add(1);
             } catch (...) {
+                thrown.fetch_add(1);
                 std::lock_guard<std::mutex> lock(first_mutex);
                 if (!first)
                     first = std::current_exception();
@@ -94,8 +121,22 @@ parallelFor(int threads, size_t n,
         pool.emplace_back(worker);
     for (auto &th : pool)
         th.join();
-    if (first)
+    if (first) {
+        if (what) {
+            // Abandoned = never ran at all: indices that ran and
+            // failed are counted separately, matching the serial
+            // path's report of the same failure.
+            size_t done = completed.load();
+            size_t died = thrown.load();
+            warn(cat(what, ": ", died,
+                     died == 1 ? " index" : " indices",
+                     " failed; ", done, " of ", n,
+                     " indices completed, ", n - done - died,
+                     " abandoned — partial results are "
+                     "incomplete"));
+        }
         std::rethrow_exception(first);
+    }
 }
 
 } // namespace mprobe

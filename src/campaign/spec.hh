@@ -74,12 +74,15 @@ struct CampaignSpec
     bool bootstrap = true;
     /**
      * Shard selection ("shard = i/n"): this process measures only
-     * the jobs whose stable expansion index satisfies
-     * index % shardCount == shardIndex. The union over all shards
-     * is exactly the unsharded campaign; the manifest always lists
-     * the full job list, so any shard's cache directory can answer
-     * --resume and --merge for the whole campaign. Execution
-     * detail: never part of job keys or the campaign fingerprint.
+     * its slice of the expanded job list under the deterministic
+     * cost-weighted striping of campaign/cost.hh (LPT greedy over
+     * estimated per-job cost — a pure function of the job list, so
+     * every shard computes the identical partition independently).
+     * The union over all shards is exactly the unsharded campaign;
+     * the manifest always lists the full job list, so any shard's
+     * cache directory can answer --resume and --merge for the
+     * whole campaign. Execution detail: never part of job keys or
+     * the campaign fingerprint.
      */
     int shardIndex = 0;
     int shardCount = 1;

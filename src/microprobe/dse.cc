@@ -123,10 +123,13 @@ ExhaustiveSearch::search(const std::vector<ParamDomain> &space,
     // Admissible points are independent: evaluate them on the work
     // queue, each writing its own slot so the history matches the
     // serial odometer order at any worker count.
-    parallelFor(threads, points.size(), [&](size_t i) {
-        double f = eval(points[i]);
-        hist[i] = {std::move(points[i]), f};
-    });
+    parallelFor(
+        threads, points.size(),
+        [&](size_t i) {
+            double f = eval(points[i]);
+            hist[i] = {std::move(points[i]), f};
+        },
+        "exhaustive evaluation");
     return bestOf(hist);
 }
 
@@ -139,6 +142,7 @@ GeneticSearch::GeneticSearch(GaOptions o) : opts(o)
         fatal("DSE: GA needs population >= 2 and generations >= 1");
     if (opts.elites >= opts.population)
         fatal("DSE: GA elites must be below the population size");
+    opts.threads = resolveThreads(opts.threads, "DSE: GA");
 }
 
 Evaluated
@@ -162,14 +166,33 @@ GeneticSearch::search(const std::vector<ParamDomain> &space,
         DesignPoint p;
         double fit;
     };
-    std::vector<Member> pop;
-    pop.reserve(static_cast<size_t>(opts.population));
-    for (int i = 0; i < opts.population; ++i) {
-        DesignPoint p = randomPoint();
-        double f = eval(p);
-        record(p, f);
-        pop.push_back({std::move(p), f});
-    }
+
+    // One population build: the candidates of a batch are drawn
+    // serially (the RNG stream never sees scheduling), then
+    // evaluated in parallel on the campaign work queue, each
+    // writing only its own fitness slot, and finally recorded in
+    // batch order. History order and content are identical to a
+    // serial in-place evaluation at any worker count.
+    auto evalBatch = [&](std::vector<DesignPoint> pts) {
+        std::vector<double> fits(pts.size());
+        parallelFor(
+            opts.threads, pts.size(),
+            [&](size_t i) { fits[i] = eval(pts[i]); },
+            "GA population build");
+        std::vector<Member> members;
+        members.reserve(pts.size());
+        for (size_t i = 0; i < pts.size(); ++i) {
+            record(pts[i], fits[i]);
+            members.push_back({std::move(pts[i]), fits[i]});
+        }
+        return members;
+    };
+
+    std::vector<DesignPoint> seed_pts;
+    seed_pts.reserve(static_cast<size_t>(opts.population));
+    for (int i = 0; i < opts.population; ++i)
+        seed_pts.push_back(randomPoint());
+    std::vector<Member> pop = evalBatch(std::move(seed_pts));
 
     auto tournamentPick = [&]() -> const Member & {
         const Member *best = nullptr;
@@ -188,7 +211,14 @@ GeneticSearch::search(const std::vector<ParamDomain> &space,
                   });
         std::vector<Member> next(
             pop.begin(), pop.begin() + opts.elites);
-        while (static_cast<int>(next.size()) < opts.population) {
+        // Offspring selection reads only the previous generation's
+        // fitness (pop is fixed until the batch completes), so
+        // every draw for the batch can happen up front.
+        std::vector<DesignPoint> children;
+        children.reserve(static_cast<size_t>(
+            opts.population - opts.elites));
+        while (static_cast<int>(next.size() + children.size()) <
+               opts.population) {
             DesignPoint child = tournamentPick().p;
             if (rng.chance(opts.crossoverRate)) {
                 const DesignPoint &other = tournamentPick().p;
@@ -200,10 +230,10 @@ GeneticSearch::search(const std::vector<ParamDomain> &space,
                 if (rng.chance(opts.mutationRate))
                     child[i] = static_cast<int>(
                         rng.range(space[i].lo, space[i].hi));
-            double f = eval(child);
-            record(child, f);
-            next.push_back({std::move(child), f});
+            children.push_back(std::move(child));
         }
+        for (auto &m : evalBatch(std::move(children)))
+            next.push_back(std::move(m));
         pop = std::move(next);
     }
     return bestOf(hist);

@@ -142,6 +142,19 @@ struct GaOptions
     int tournament = 3;
     int elites = 2;
     uint64_t seed = 0xd5e5eedull;
+    /**
+     * Worker threads for population evaluation (1 = serial
+     * reference, 0 = one per hardware thread). The GA's walk is
+     * sequential across generations, but *within* one population
+     * build every candidate is independent: all random draws for a
+     * batch happen serially before any evaluation runs, then the
+     * evaluations fan out on the campaign work queue, each writing
+     * its own slot. The history (order and content) is therefore
+     * bit-identical at any worker count — provided @p eval is
+     * thread-safe and depends only on the point (callers with
+     * stateful evaluation closures must stay at 1).
+     */
+    int threads = 1;
 };
 
 /** Steady generational GA with tournament selection and elitism. */

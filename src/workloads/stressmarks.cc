@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "campaign/queue.hh"
 #include "microprobe/passes.hh"
 #include "microprobe/synthesizer.hh"
 #include "util/logging.hh"
@@ -151,23 +152,33 @@ exploreSequences(Architecture &arch, Campaign &campaign,
         return true;
     };
 
-    // Enumerate first, then measure the whole batch through the
-    // campaign engine: sequences are independent, so the pool and
-    // the result cache apply; sample order is point order.
+    // Enumerate first, then build and measure the whole batch
+    // through the campaign engine: sequences are independent, so
+    // the pool and the result cache apply; sample order is point
+    // order.
     ExhaustiveSearch search(filter, max_points);
     std::vector<DesignPoint> points = search.enumerate(space);
 
-    std::vector<Program> progs;
-    progs.reserve(points.size());
-    for (size_t i = 0; i < points.size(); ++i) {
-        std::vector<Isa::OpIndex> seq;
-        seq.reserve(seq_len);
-        for (int g : points[i])
-            seq.push_back(triple[static_cast<size_t>(g)]);
-        progs.push_back(buildStressmark(
-            arch, seq, cat("stress-", config.label(), "-", i),
-            body_size));
-    }
+    // Program construction fans out on the same work queue the
+    // measurement phase uses (the campaign's resolved worker
+    // count): each candidate synthesizes from its own point and
+    // writes only its own pre-allocated slot, so the program list —
+    // and everything downstream of it, job keys included — is
+    // bit-identical at any worker count. Synthesis is pure per
+    // point (fixed synthesizer seed, no shared mutable state).
+    std::vector<Program> progs(points.size());
+    parallelFor(
+        campaign.specRef().threads, points.size(),
+        [&](size_t i) {
+            std::vector<Isa::OpIndex> seq;
+            seq.reserve(seq_len);
+            for (int g : points[i])
+                seq.push_back(triple[static_cast<size_t>(g)]);
+            progs[i] = buildStressmark(
+                arch, seq, cat("stress-", config.label(), "-", i),
+                body_size);
+        },
+        "stressmark synthesis");
     std::vector<Sample> samples = campaign.measure(progs, {config});
 
     StressmarkExploration out;

@@ -327,13 +327,15 @@ generateTable2Suite(Architecture &arch, const Machine &machine,
         return std::string(buf);
     };
 
-    // The IPC-targeted searches are independent of each other: each
-    // derives every random draw from the suite seed and its own
-    // category/index, and measures only through the thread-safe
-    // Machine::run. They queue up as tasks here and fan out on the
-    // campaign work queue below; each task writes only its own
-    // pre-allocated slot, so the suite is bit-identical at any
-    // worker count.
+    // Every suite benchmark is generated by an independent task:
+    // each derives every random draw from the suite seed and its
+    // own category/index (seeds for the memory/random builds are
+    // pre-drawn serially below, before anything runs), and measures
+    // only through the thread-safe Machine::run. The tasks queue up
+    // here and fan out on the campaign work queue at the end; each
+    // writes only its own pre-allocated slot, so the suite is
+    // bit-identical at any worker count — construction order is
+    // never observable, only task order is.
     std::vector<std::function<GeneratedBench()>> tasks;
 
     auto targeted = [&](BenchCategory category, std::string prefix,
@@ -450,19 +452,6 @@ generateTable2Suite(Architecture &arch, const Machine &machine,
         });
     }
 
-    // Fan the queued searches out; slot-indexed writes keep the
-    // suite order (and content) identical to a serial run.
-    int gen_threads = resolveThreads(opts.threads, "suite");
-    if (!tasks.empty())
-        inform(cat("suite: running ", tasks.size(),
-                   " generation searches on ", gen_threads,
-                   gen_threads == 1 ? " thread" : " threads"));
-    std::vector<GeneratedBench> searched(tasks.size());
-    parallelFor(gen_threads, tasks.size(),
-                [&](size_t i) { searched[i] = tasks[i](); });
-    for (auto &gb : searched)
-        out.push_back(std::move(gb));
-
     // Memory groups (Table 2's 14 distribution rows).
     struct MemGroup
     {
@@ -489,7 +478,10 @@ generateTable2Suite(Architecture &arch, const Machine &machine,
     };
     // Per-benchmark seeds come from order-independent fork streams
     // so a category-restricted generation (campaign specs) yields
-    // exactly the benchmarks of the full suite.
+    // exactly the benchmarks of the full suite. The seeds are drawn
+    // serially *here*, at task-queue time; the builds they feed run
+    // on the pool, so construction scheduling can never perturb the
+    // stream.
     Rng mem_rng = rng.fork(0x3e3);
     if (opts.wants(BenchCategory::MemoryGroup)) {
         int g_idx = 0;
@@ -497,29 +489,36 @@ generateTable2Suite(Architecture &arch, const Machine &machine,
             Rng group_rng = mem_rng.fork(
                 static_cast<uint64_t>(g_idx++));
             for (int v = 0; v < opts.perMemoryGroup; ++v) {
-                GeneratedBench gb;
-                gb.program = buildMemoryBench(
-                    arch, g.loads_only ? cs.loads : cs.loadsStores,
-                    g.dist, opts.bodySize, cat(g.name, "-", v),
-                    opts.seed ^ group_rng.next());
-                gb.category = BenchCategory::MemoryGroup;
-                gb.group = g.name;
-                gb.unitsStressed = g.units;
-                out.push_back(std::move(gb));
+                uint64_t s = opts.seed ^ group_rng.next();
+                tasks.push_back([&, g, v, s]() {
+                    GeneratedBench gb;
+                    gb.program = buildMemoryBench(
+                        arch,
+                        g.loads_only ? cs.loads : cs.loadsStores,
+                        g.dist, opts.bodySize, cat(g.name, "-", v),
+                        s);
+                    gb.category = BenchCategory::MemoryGroup;
+                    gb.group = g.name;
+                    gb.unitsStressed = g.units;
+                    return gb;
+                });
             }
         }
         // Memory: misses in every level.
         Rng miss_rng = mem_rng.fork(0xffff);
         for (int v = 0; v < opts.memoryCount; ++v) {
-            GeneratedBench gb;
-            gb.program = buildMemoryBench(
-                arch, cs.loadsStores, MemDistribution{0, 0, 0, 1},
-                opts.bodySize, cat("Memory-", v),
-                opts.seed ^ miss_rng.next());
-            gb.category = BenchCategory::MemoryGroup;
-            gb.group = "Memory";
-            gb.unitsStressed = "LSU, L1, L2, L3, MEM";
-            out.push_back(std::move(gb));
+            uint64_t s = opts.seed ^ miss_rng.next();
+            tasks.push_back([&, v, s]() {
+                GeneratedBench gb;
+                gb.program = buildMemoryBench(
+                    arch, cs.loadsStores,
+                    MemDistribution{0, 0, 0, 1}, opts.bodySize,
+                    cat("Memory-", v), s);
+                gb.category = BenchCategory::MemoryGroup;
+                gb.group = "Memory";
+                gb.unitsStressed = "LSU, L1, L2, L3, MEM";
+                return gb;
+            });
         }
     }
 
@@ -543,48 +542,74 @@ generateTable2Suite(Architecture &arch, const Machine &machine,
         opts.wants(BenchCategory::Random) ? opts.randomCount : 0;
     for (int v = 0; v < random_count; ++v) {
         uint64_t s = opts.seed ^ rand_rng.next();
-        Rng vr(s);
-        size_t k = 5 + vr.pick(14);
-        std::vector<Isa::OpIndex> cands;
-        for (size_t j = 0; j < k; ++j)
-            cands.push_back(pool[vr.pick(pool.size())]);
-        std::vector<double> w(cands.size());
-        for (auto &x : w)
-            x = 0.1 + vr.uniform();
-        MemDistribution dist;
-        double l1 = 0.4 + 0.6 * vr.uniform();
-        double rest = 1.0 - l1;
-        double l2 = rest * vr.uniform();
-        double l3 = (rest - l2) * vr.uniform();
-        dist = {l1, l2, l3, rest - l2 - l3};
-        DataPattern pats[] = {DataPattern::Zero, DataPattern::Alt01,
-                              DataPattern::Random};
-        DataPattern pat = pats[vr.pick(3)];
+        // Every draw below comes from vr(s): the benchmark is a
+        // pure function of its pre-drawn seed, so the build can run
+        // on any worker.
+        tasks.push_back([&, v, s]() {
+            Rng vr(s);
+            size_t k = 5 + vr.pick(14);
+            std::vector<Isa::OpIndex> cands;
+            for (size_t j = 0; j < k; ++j)
+                cands.push_back(pool[vr.pick(pool.size())]);
+            std::vector<double> w(cands.size());
+            for (auto &x : w)
+                x = 0.1 + vr.uniform();
+            MemDistribution dist;
+            double l1 = 0.4 + 0.6 * vr.uniform();
+            double rest = 1.0 - l1;
+            double l2 = rest * vr.uniform();
+            double l3 = (rest - l2) * vr.uniform();
+            dist = {l1, l2, l3, rest - l2 - l3};
+            DataPattern pats[] = {DataPattern::Zero,
+                                  DataPattern::Alt01,
+                                  DataPattern::Random};
+            DataPattern pat = pats[vr.pick(3)];
 
-        Synthesizer synth(arch, s);
-        synth.addPass<SkeletonPass>(opts.bodySize);
-        synth.addPass<InstructionMixPass>(cands, w);
-        synth.addPass<MemoryModelPass>(dist);
-        synth.addPass<RegisterInitPass>(pat);
-        synth.addPass<ImmediateInitPass>(pat);
-        synth.add(std::make_unique<DependencyDistancePass>(
-            DependencyDistancePass::random(
-                1, 4 + static_cast<int>(vr.pick(28)))));
-        GeneratedBench gb;
-        gb.program = synth.synthesize(cat("random-", v));
-        // Conditional branches take random taken-rates so the
-        // random set spans speculation behaviours too.
-        for (auto &pi : gb.program.body) {
-            const InstrDef &d = arch.isa().at(pi.op);
-            if (d.isBranch() && d.conditional)
-                pi.takenRate = static_cast<float>(
-                    0.55 + 0.45 * vr.uniform());
-        }
-        gb.program.body.back().takenRate = 1.0f;
-        gb.category = BenchCategory::Random;
-        gb.unitsStressed = "Unknown";
-        out.push_back(std::move(gb));
+            Synthesizer synth(arch, s);
+            synth.addPass<SkeletonPass>(opts.bodySize);
+            synth.addPass<InstructionMixPass>(cands, w);
+            synth.addPass<MemoryModelPass>(dist);
+            synth.addPass<RegisterInitPass>(pat);
+            synth.addPass<ImmediateInitPass>(pat);
+            synth.add(std::make_unique<DependencyDistancePass>(
+                DependencyDistancePass::random(
+                    1, 4 + static_cast<int>(vr.pick(28)))));
+            GeneratedBench gb;
+            gb.program = synth.synthesize(cat("random-", v));
+            // Conditional branches take random taken-rates so the
+            // random set spans speculation behaviours too.
+            for (auto &pi : gb.program.body) {
+                const InstrDef &d = arch.isa().at(pi.op);
+                if (d.isBranch() && d.conditional)
+                    pi.takenRate = static_cast<float>(
+                        0.55 + 0.45 * vr.uniform());
+            }
+            gb.program.body.back().takenRate = 1.0f;
+            gb.category = BenchCategory::Random;
+            gb.unitsStressed = "Unknown";
+            return gb;
+        });
     }
+
+    // Fan every queued generation task out on the campaign work
+    // queue; slot-indexed writes keep the suite order (and content)
+    // identical to a serial run at any worker count. On a worker
+    // failure parallelFor reports how many builds were abandoned —
+    // the partially-built slots never reach the caller (the
+    // exception propagates), but the log keeps an interrupted
+    // generation from reading like a complete one.
+    int gen_threads = resolveThreads(opts.threads, "suite");
+    if (!tasks.empty())
+        inform(cat("suite: running ", tasks.size(),
+                   " generation tasks on ", gen_threads,
+                   gen_threads == 1 ? " thread" : " threads"));
+    std::vector<GeneratedBench> built(tasks.size());
+    parallelFor(
+        gen_threads, tasks.size(),
+        [&](size_t i) { built[i] = tasks[i](); },
+        "suite generation");
+    for (auto &gb : built)
+        out.push_back(std::move(gb));
 
     inform(cat("generated Table-2 suite: ", out.size(),
                " micro-benchmarks"));

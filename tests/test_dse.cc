@@ -196,6 +196,41 @@ TEST(GeneticSearch, DeterministicForSeed)
     EXPECT_DOUBLE_EQ(a.fitness, b.fitness);
 }
 
+TEST(GeneticSearch, ParallelPopulationEvaluationMatchesSerial)
+{
+    // Every population build draws its candidates serially before
+    // any evaluation runs, so with a pure (thread-safe) evaluation
+    // function the history must be bit-identical at any worker
+    // count — order and content.
+    auto run = [](int threads) {
+        GaOptions o;
+        o.population = 12;
+        o.generations = 6;
+        o.seed = 0xabcde;
+        o.threads = threads;
+        GeneticSearch s(o);
+        std::vector<ParamDomain> space = {{"x", 0, 63},
+                                          {"y", 0, 63}};
+        s.search(space, [](const DesignPoint &p) {
+            double dx = p[0] - 11, dy = p[1] - 50;
+            return -(dx * dx) - std::abs(dy);
+        });
+        return s.history();
+    };
+    auto serial = run(1);
+    for (int threads : {4, 8}) {
+        auto parallel = run(threads);
+        ASSERT_EQ(serial.size(), parallel.size()) << threads;
+        for (size_t i = 0; i < serial.size(); ++i) {
+            EXPECT_EQ(serial[i].point, parallel[i].point)
+                << threads << " @ " << i;
+            EXPECT_DOUBLE_EQ(serial[i].fitness,
+                             parallel[i].fitness)
+                << threads << " @ " << i;
+        }
+    }
+}
+
 TEST(GeneticSearch, EvaluationBudgetBounded)
 {
     GaOptions o;

@@ -177,19 +177,26 @@ TEST(Suite, ParallelGenerationMatchesSerial)
 
     opts.threads = 1;
     auto serial = generateTable2Suite(f.arch, f.machine, opts);
-    opts.threads = 3;
-    auto parallel = generateTable2Suite(f.arch, f.machine, opts);
-
-    ASSERT_EQ(serial.size(), parallel.size());
-    for (size_t i = 0; i < serial.size(); ++i) {
-        EXPECT_TRUE(
-            programsEqual(serial[i].program, parallel[i].program))
-            << i << ": " << serial[i].program.name;
-        EXPECT_EQ(serial[i].category, parallel[i].category) << i;
-        EXPECT_EQ(serial[i].group, parallel[i].group) << i;
-        EXPECT_DOUBLE_EQ(serial[i].achievedIpc,
-                         parallel[i].achievedIpc)
-            << i;
+    // Every category — the searches *and* the memory/random builds
+    // — must come out bit-identical at any worker count (the
+    // acceptance bar: 1 thread vs 8 threads).
+    for (int threads : {3, 8}) {
+        opts.threads = threads;
+        auto parallel = generateTable2Suite(f.arch, f.machine,
+                                            opts);
+        ASSERT_EQ(serial.size(), parallel.size()) << threads;
+        for (size_t i = 0; i < serial.size(); ++i) {
+            EXPECT_TRUE(programsEqual(serial[i].program,
+                                      parallel[i].program))
+                << threads << ": " << i << ": "
+                << serial[i].program.name;
+            EXPECT_EQ(serial[i].category, parallel[i].category)
+                << i;
+            EXPECT_EQ(serial[i].group, parallel[i].group) << i;
+            EXPECT_DOUBLE_EQ(serial[i].achievedIpc,
+                             parallel[i].achievedIpc)
+                << i;
+        }
     }
 }
 
@@ -351,6 +358,33 @@ TEST(Stressmarks, ExplorationCovers540AndFindsSpread)
                     maxOf(ex.powers);
     EXPECT_GT(spread, 0.05);
     EXPECT_EQ(ex.bestSeq.size(), 6u);
+}
+
+TEST(Stressmarks, ParallelSynthesisMatchesSerial)
+{
+    // Candidate *construction* fans out on the campaign queue next
+    // to measurement; a 1-thread and an 8-thread exploration must
+    // agree bit-for-bit (each sequence synthesizes from its own
+    // point with a fixed seed — never from scheduling).
+    Fixture f;
+    auto triple = expertPicks(f.arch);
+    auto explore = [&](int threads) {
+        Campaign campaign(f.machine, measurementSpec(threads));
+        // 4 slots over 3 candidates, all present: 36 sequences.
+        return exploreSequences(f.arch, campaign, triple,
+                                ChipConfig{2, 2}, 4, 128);
+    };
+    StressmarkExploration serial = explore(1);
+    StressmarkExploration parallel = explore(8);
+    EXPECT_EQ(serial.evaluations, 36u);
+    ASSERT_EQ(serial.powers.size(), parallel.powers.size());
+    for (size_t i = 0; i < serial.powers.size(); ++i) {
+        EXPECT_DOUBLE_EQ(serial.powers[i], parallel.powers[i])
+            << i;
+        EXPECT_DOUBLE_EQ(serial.ipcs[i], parallel.ipcs[i]) << i;
+    }
+    EXPECT_EQ(serial.bestSeq, parallel.bestSeq);
+    EXPECT_DOUBLE_EQ(serial.bestPower, parallel.bestPower);
 }
 
 TEST(Stressmarks, TruncatedExplorationIsFlagged)

@@ -196,8 +196,10 @@ main(int argc, char **argv)
                    "override: extra measurement salt");
     args.addOption("shard", "",
                    "measure only shard i/n of the job list (e.g. "
-                   "0/4); all shards share --cache-dir, --merge "
-                   "assembles the union");
+                   "0/4), partitioned by estimated job cost "
+                   "(cost-weighted striping; see --plan); all "
+                   "shards share --cache-dir, --merge assembles "
+                   "the union");
     args.addOption("progress-seconds", "",
                    "override: seconds between progress lines "
                    "while measuring (0 disables)");
@@ -205,6 +207,12 @@ main(int argc, char **argv)
                  "no measurement: verify every manifest job has a "
                  "cached result and export the unified samples "
                  "(the merge step after sharded runs)");
+    args.addFlag("plan",
+                 "dry run: generate and expand the campaign, print "
+                 "the cost-striped per-shard schedule (job counts, "
+                 "estimated costs, round-robin comparison) and "
+                 "exit without measuring; --shard i/n sets the "
+                 "shard count");
     args.addOption("csv", "", "export samples as CSV to this path");
     args.addOption("json", "",
                    "export samples as JSON to this path");
@@ -252,9 +260,10 @@ main(int argc, char **argv)
     if (args.getFlag("merge")) {
         // Check the effective spec, so a `shard =` key loaded from
         // the spec file is rejected like the --shard flag.
-        if (args.getFlag("resume") || spec.sharded())
+        if (args.getFlag("resume") || args.getFlag("plan") ||
+            spec.sharded())
             fatal("--merge is a standalone step; it does not "
-                  "combine with --shard or --resume");
+                  "combine with --shard, --plan or --resume");
         runMerge(spec.cacheDir, args.get("csv"),
                  args.get("json"));
     }
@@ -264,6 +273,52 @@ main(int argc, char **argv)
     Architecture arch = Architecture::get(args.get("arch"));
     Machine machine(arch.isa(), arch.uarch().cacheGeometries(),
                     arch.uarch().clockGhz());
+
+    if (args.getFlag("plan")) {
+        if (args.getFlag("resume"))
+            fatal("--plan is a dry run; it does not combine with "
+                  "--resume");
+        // A plan is shard-count-generic: normalize the spec to
+        // unsharded and drop the cache directory (a dry run
+        // touches no shared state, not even a mkdir), then
+        // partition for the requested count.
+        int plan_count = spec.shardCount;
+        CampaignSpec pspec = spec;
+        pspec.shardIndex = 0;
+        pspec.shardCount = 1;
+        pspec.cacheDir.clear();
+        Campaign campaign(machine, pspec);
+        CampaignPlan plan = campaign.plan(arch, plan_count);
+
+        TextTable t({"Shard", "Jobs", "Est. cost", "Share",
+                     "Round-robin cost"});
+        for (int s = 0; s < plan_count; ++s) {
+            const auto &sp = plan.shards[static_cast<size_t>(s)];
+            const auto &rp =
+                plan.roundRobin[static_cast<size_t>(s)];
+            t.addRow({cat(s, "/", plan_count),
+                      std::to_string(sp.jobs.size()),
+                      TextTable::num(sp.cost, 0),
+                      cat(TextTable::num(plan.totalCost > 0
+                                             ? 100.0 * sp.cost /
+                                                   plan.totalCost
+                                             : 0.0,
+                                         1),
+                          "%"),
+                      TextTable::num(rp.cost, 0)});
+        }
+        t.print(std::cout);
+        std::cout << plan.totalJobs << " jobs, total estimated "
+                  << "cost " << TextTable::num(plan.totalCost, 0)
+                  << "; max/min shard cost "
+                  << TextTable::num(plan.stripedImbalance, 2)
+                  << " cost-striped vs "
+                  << TextTable::num(plan.roundRobinImbalance, 2)
+                  << " round-robin\n"
+                  << "dry run: nothing was measured (drop --plan "
+                  << "to execute)\n";
+        return 0;
+    }
 
     if (args.getFlag("resume"))
         reportResume(spec, machine.fingerprint());
