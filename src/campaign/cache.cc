@@ -26,6 +26,11 @@ sampleToText(const Sample &s)
     os.precision(17);
     os << "workload " << s.workload << "\n"
        << "config " << s.config.cores << "-" << s.config.smt << "\n"
+       // freq precedes the required tail fields deliberately: a
+       // file truncated anywhere after it is missing one of them
+       // and parses as corrupt, so a swept entry can never tear
+       // into a "valid" nominal-frequency hit.
+       << "freq " << s.freqGhz << "\n"
        << "rates";
     for (double r : s.rates)
         os << " " << r;
@@ -43,6 +48,10 @@ sampleFromText(const std::string &text, Sample &out)
     std::string line;
     bool saw_workload = false, saw_config = false, saw_power = false;
     bool saw_gips = false, saw_ipc = false;
+    // Pre-DVFS entries carry no frequency field: they were measured
+    // at the nominal clock, so they load as that default instead of
+    // missing — upgrading a cache directory re-runs nothing.
+    out.freqGhz = kNominalFreqGhz;
     while (std::getline(in, line)) {
         std::string s = trim(line);
         if (s.empty())
@@ -81,6 +90,12 @@ sampleFromText(const std::string &text, Sample &out)
             } else if (key == "ipc") {
                 out.coreIpc = std::stod(val);
                 saw_ipc = true;
+            } else if (key == "freq") {
+                out.freqGhz = std::stod(val);
+                // No measurement happens at a non-positive clock:
+                // such an entry is corrupt, not a 0-GHz hit.
+                if (out.freqGhz <= 0.0)
+                    return false;
             } else {
                 return false;
             }

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <numeric>
 
 #include "campaign/manifest.hh"
@@ -24,12 +25,17 @@ namespace mprobe
 
 uint64_t
 campaignJobKey(const Program &prog, const ChipConfig &cfg,
-               uint64_t machine_fingerprint, uint64_t salt)
+               uint64_t machine_fingerprint, uint64_t salt,
+               double freq_ghz)
 {
     Hasher h;
     h.add(kCacheSchemaVersion);
     h.add(machine_fingerprint).add(salt);
     h.add(cfg.cores).add(cfg.smt);
+    // The nominal operating point (freq_ghz == 0) hashes exactly
+    // like a pre-DVFS job, so old cache entries keep hitting.
+    if (freq_ghz > 0.0)
+        h.add(freq_ghz);
     // The sensor-noise seed hashes the program name, so the name is
     // result-relevant and must be part of the key.
     h.add(prog.name);
@@ -57,6 +63,14 @@ campaignFingerprint(const CampaignSpec &spec,
     h.add(spec.configs.size());
     for (const auto &cfg : spec.configs)
         h.add(cfg.cores).add(cfg.smt);
+    // The frequency axis joins the fingerprint only when present:
+    // axis-free campaigns keep the exact pre-DVFS fingerprint, so
+    // their existing manifests stay resumable.
+    if (!spec.freqs.empty()) {
+        h.add(spec.freqs.size());
+        for (double f : spec.freqs)
+            h.add(f);
+    }
     h.add(spec.suiteEnabled).add(spec.specProxies);
     h.add(spec.daxpy).add(spec.extremes);
     // Effective category restriction: the Campaign constructor
@@ -218,6 +232,17 @@ Campaign::expandJobs(
 {
     if (configs_per.size() != workloads.size())
         fatal("campaign: one config list per workload required");
+    // The frequency axis, normalized to job form: an empty axis is
+    // the nominal point alone, and a swept frequency equal to the
+    // machine's nominal clock collapses to the legacy
+    // frequency-free key (0) so it shares pre-DVFS cache entries.
+    std::vector<double> freq_axis;
+    if (spec.freqs.empty()) {
+        freq_axis.push_back(0.0);
+    } else {
+        for (double f : spec.freqs)
+            freq_axis.push_back(f == machine.clockGhz() ? 0.0 : f);
+    }
     std::vector<CampaignJob> jobs;
     for (size_t w = 0; w < workloads.size(); ++w) {
         if (configs_per[w].empty())
@@ -225,12 +250,14 @@ Campaign::expandJobs(
                       workloads[w].program.name,
                       "' has no configurations to deploy on"));
         for (const auto &cfg : configs_per[w])
-            jobs.push_back(
-                {w, cfg,
-                 campaignJobKey(workloads[w].program, cfg,
-                                machineFp, spec.salt),
-                 costModel.estimate(
-                     cfg, workloads[w].program.body.size())});
+            for (double f : freq_axis)
+                jobs.push_back(
+                    {w, cfg,
+                     campaignJobKey(workloads[w].program, cfg,
+                                    machineFp, spec.salt, f),
+                     costModel.estimate(
+                         cfg, workloads[w].program.body.size()),
+                     f});
     }
     return jobs;
 }
@@ -251,7 +278,7 @@ Campaign::writeManifest(
         m.entries.push_back(
             {job.key, job.config,
              w.source.empty() ? "adhoc" : w.source,
-             w.program.name});
+             w.program.name, job.freqGhz});
     }
     // Merge-accumulate: repeated measure() calls (the model
     // pipeline issues several) grow one manifest, and every shard
@@ -259,7 +286,7 @@ Campaign::writeManifest(
     mergeSaveManifest(manifestPath(spec.cacheDir), m);
 }
 
-std::vector<Sample>
+Campaign::JobRunOutcome
 Campaign::runJobs(const std::vector<CampaignWorkload> &workloads,
                   const std::vector<CampaignJob> &jobs,
                   size_t campaign_total)
@@ -288,6 +315,18 @@ Campaign::runJobs(const std::vector<CampaignWorkload> &workloads,
     std::atomic<size_t> done{0};
     std::atomic<size_t> cached{0};
     std::atomic<int64_t> next_report_ms{every_ms};
+    // Cost-weighted ETA: cold estimated cost retired over elapsed
+    // time gives the observed cost/sec; remaining cost divided by
+    // it is the estimate. Cache hits retire their cost in
+    // microseconds, so they are tracked separately — counting them
+    // as work done would inflate the rate and report "~0s left"
+    // on a half-warm resume. Accumulated in milli-cost units
+    // because C++17 std::atomic<double> has no fetch_add.
+    double total_cost = 0.0;
+    for (const auto &job : jobs)
+        total_cost += job.cost;
+    std::atomic<int64_t> cold_cost_milli{0};
+    std::atomic<int64_t> cached_cost_milli{0};
 
     // Longest-job-first local execution order: with mixed configs
     // the most expensive jobs start first, so the pool drains
@@ -304,13 +343,18 @@ Campaign::runJobs(const std::vector<CampaignWorkload> &workloads,
 
     // Each job writes only its own slot: no result synchronization,
     // and sample order is scheduling-independent by construction.
-    std::vector<Sample> samples(jobs.size());
+    JobRunOutcome out;
+    out.samples.resize(jobs.size());
+    out.seconds.assign(jobs.size(), 0.0);
+    out.cached.assign(jobs.size(), 0);
     parallelFor(spec.threads, jobs.size(), [&](size_t q) {
         size_t i = exec_order[q];
         const CampaignJob &job = jobs[i];
+        const auto jt0 = clock::now();
         Sample s;
         if (cache.lookup(job.key, s)) {
-            samples[i] = std::move(s);
+            out.samples[i] = std::move(s);
+            out.cached[i] = 1;
             ++cached;
         } else {
             const Program &prog =
@@ -320,11 +364,19 @@ Campaign::runJobs(const std::vector<CampaignWorkload> &workloads,
             // noise matches the serial reference run and the cache
             // exactly.
             uint64_t salt = hashCombine(job.key, 0x5a17ull);
-            samples[i] =
-                makeSample(prog.name,
-                           machine.run(prog, job.config, salt));
-            cache.store(job.key, samples[i]);
+            out.samples[i] = makeSample(
+                prog.name,
+                machine.run(prog, job.config,
+                            machine.operatingPoint(job.freqGhz),
+                            salt));
+            cache.store(job.key, out.samples[i]);
         }
+        out.seconds[i] =
+            std::chrono::duration<double>(clock::now() - jt0)
+                .count();
+        (out.cached[i] ? cached_cost_milli : cold_cost_milli)
+            .fetch_add(static_cast<int64_t>(
+                std::llround(job.cost * 1000.0)));
         size_t k = ++done;
         if (every_ms <= 0 || k == jobs.size())
             return;
@@ -335,12 +387,32 @@ Campaign::runJobs(const std::vector<CampaignWorkload> &workloads,
         int64_t deadline = next_report_ms.load();
         if (elapsed >= deadline &&
             next_report_ms.compare_exchange_strong(
-                deadline, elapsed + every_ms))
+                deadline, elapsed + every_ms)) {
+            // ETA from the cold cost actually retired so far, not
+            // from job counts: with mixed configs the heavy jobs
+            // run first, so count-based estimates would overshoot
+            // (and cache hits would make everything look free).
+            double cold_cost = static_cast<double>(
+                                   cold_cost_milli.load()) /
+                               1000.0;
+            double remaining =
+                total_cost - cold_cost -
+                static_cast<double>(cached_cost_milli.load()) /
+                    1000.0;
+            std::string eta;
+            if (cold_cost > 0.0 && elapsed > 0) {
+                double rate =
+                    cold_cost /
+                    (static_cast<double>(elapsed) / 1000.0);
+                eta = cat(", ~", std::lround(remaining / rate),
+                          "s left");
+            }
             inform(cat("campaign: ", k, " of ", jobs.size(),
                        " jobs done, ", cached.load(), " cached",
-                       shard_tag));
+                       eta, shard_tag));
+        }
     }, "campaign measure");
-    return samples;
+    return out;
 }
 
 CampaignResult
@@ -368,7 +440,11 @@ Campaign::run(Architecture &arch)
     else
         res.jobs = std::move(all_jobs);
     size_t hits0 = cache.hits(), misses0 = cache.misses();
-    res.samples = runJobs(res.workloads, res.jobs, res.totalJobs);
+    JobRunOutcome outcome =
+        runJobs(res.workloads, res.jobs, res.totalJobs);
+    res.samples = std::move(outcome.samples);
+    res.jobSeconds = std::move(outcome.seconds);
+    res.jobCached = std::move(outcome.cached);
     auto t2 = clock::now();
     res.cacheHits = cache.hits() - hits0;
     res.cacheMisses = cache.misses() - misses0;
@@ -464,7 +540,7 @@ Campaign::measure(
     // therefore sharding) work for them.
     writeManifest(workloads, jobs);
     if (!spec.sharded())
-        return runJobs(workloads, jobs, jobs.size());
+        return runJobs(workloads, jobs, jobs.size()).samples;
 
     // Sharded measure(): run this shard's slice, then fill
     // off-shard slots from the shared cache. Slots no other shard
@@ -474,7 +550,8 @@ Campaign::measure(
     std::vector<size_t> mine = costAwareShardIndices(
         jobs, spec.shardIndex, spec.shardCount);
     std::vector<Sample> measured =
-        runJobs(workloads, jobsAt(jobs, mine), jobs.size());
+        runJobs(workloads, jobsAt(jobs, mine), jobs.size())
+            .samples;
 
     std::vector<Sample> out(jobs.size());
     std::vector<char> filled(jobs.size(), 0);
@@ -491,6 +568,8 @@ Campaign::measure(
         Sample &s = out[i];
         s.workload = workloads[jobs[i].workload].program.name;
         s.config = jobs[i].config;
+        s.freqGhz = jobs[i].freqGhz > 0.0 ? jobs[i].freqGhz
+                                          : machine.clockGhz();
         s.rates.assign(dynamicFeatureNames().size(), 0.0);
         ++holes;
     }

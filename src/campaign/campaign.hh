@@ -39,12 +39,21 @@ struct CampaignJob
     /** Index into the campaign's workload list. */
     size_t workload = 0;
     ChipConfig config;
-    /** Content hash: program + config + machine + salt. */
+    /** Content hash: program + config + operating point + machine
+     * + salt. */
     uint64_t key = 0;
     /** Estimated relative cost (JobCostModel), for cost-striped
      * sharding and longest-first pool draining. Execution detail:
      * never part of the key or the manifest. */
     double cost = 0.0;
+    /**
+     * Swept core frequency in GHz; 0 selects the machine's nominal
+     * operating point *and* the legacy (frequency-free) job key, so
+     * campaigns without a `freqs` axis — and sweep points that
+     * coincide with the nominal clock — replay pre-DVFS cache
+     * entries.
+     */
+    double freqGhz = 0.0;
 };
 
 /** A generated workload with its provenance. */
@@ -75,6 +84,12 @@ struct CampaignResult
     /** Cache statistics of this run. */
     size_t cacheHits = 0;
     size_t cacheMisses = 0;
+    /** Measured wall seconds per executed job (parallel to jobs;
+     * near-zero for cache hits) and whether each was a hit — the
+     * raw material `mprobe_campaign --calibrate` refits the
+     * JobCostModel from. */
+    std::vector<double> jobSeconds;
+    std::vector<char> jobCached;
     /** @name Phase wall times (perf trajectory tracking) */
     /**@{*/
     double generationSeconds = 0.0;
@@ -85,11 +100,14 @@ struct CampaignResult
 /**
  * Content hash of one measurement point. Covers every Program field
  * the simulator reads plus the configuration, the machine
- * fingerprint and the campaign salt.
+ * fingerprint and the campaign salt. @p freq_ghz joins the hash
+ * only when positive (a swept non-nominal operating point): the
+ * nominal point keeps the exact pre-DVFS key, so existing cache
+ * directories upgrade miss-free.
  */
 uint64_t campaignJobKey(const Program &prog, const ChipConfig &cfg,
                         uint64_t machine_fingerprint,
-                        uint64_t salt);
+                        uint64_t salt, double freq_ghz = 0.0);
 
 /**
  * Fingerprint of everything in (@p spec, machine) that determines a
@@ -253,13 +271,22 @@ class Campaign
                const std::vector<std::vector<ChipConfig>> &configs_per)
         const;
 
+    /** What one runJobs call produced (samples plus the per-job
+     * timing/caching record --calibrate consumes). */
+    struct JobRunOutcome
+    {
+        std::vector<Sample> samples;
+        std::vector<double> seconds;
+        std::vector<char> cached;
+    };
+
     /**
      * Execute pre-expanded jobs on the pool; the parallel phase.
      * @p campaign_total is the full campaign's job count (the
      * progress-line denominator context when @p jobs is a shard
      * slice of it).
      */
-    std::vector<Sample>
+    JobRunOutcome
     runJobs(const std::vector<CampaignWorkload> &workloads,
             const std::vector<CampaignJob> &jobs,
             size_t campaign_total);

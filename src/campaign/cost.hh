@@ -88,6 +88,49 @@ double summedCost(const std::vector<double> &costs,
 double costImbalance(const std::vector<double> &costs,
                      const std::vector<std::vector<size_t>> &shards);
 
+/** One measured job wall time, as recorded in the campaign's
+ * --metrics-json (cache hits are excluded from calibration: they
+ * measure the filesystem, not the simulator). */
+struct JobTiming
+{
+    ChipConfig config;
+    size_t bodySize = 0;
+    double seconds = 0.0;
+    bool cached = false;
+};
+
+/** What calibrateJobCostModel fitted. */
+struct CostCalibration
+{
+    /** False when the timings cannot support a fit (fewer than two
+     * distinct non-cached sizes, or a non-positive slope). */
+    bool ok = false;
+    /** Non-cached timings the fit used. */
+    size_t used = 0;
+    /** Fixed per-job overhead in seconds (the intercept). */
+    double perJobSeconds = 0.0;
+    /** Seconds per (body instruction x deployed hardware thread)
+     * (the slope). */
+    double perSlotThreadSeconds = 0.0;
+    /** Coefficient of determination of the fit. */
+    double r2 = 0.0;
+    /** The refitted model, normalized like the default (one
+     * slot-thread unit costs 1): perJob = intercept / slope. */
+    JobCostModel fitted;
+};
+
+/**
+ * Refit the JobCostModel constants from measured per-job wall
+ * times: ordinary least squares of seconds against
+ * threads x body_size over the non-cached timings — the ROADMAP's
+ * "calibrate the cost model from measured wall times" step,
+ * surfaced as `mprobe_campaign --calibrate`. Only the
+ * perJob/perSlotThread *ratio* matters for scheduling, so the
+ * fitted model is normalized to perSlotThread = 1.
+ */
+CostCalibration
+calibrateJobCostModel(const std::vector<JobTiming> &timings);
+
 } // namespace mprobe
 
 #endif // CAMPAIGN_COST_HH

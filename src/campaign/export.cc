@@ -9,6 +9,7 @@
 #include <fstream>
 #include <ostream>
 
+#include "dvfs/sweep.hh"
 #include "util/logging.hh"
 #include "util/str.hh"
 
@@ -77,14 +78,17 @@ exportSamplesCsv(std::ostream &os,
     os << "workload,cores,smt";
     for (const auto &name : dynamicFeatureNames())
         os << "," << toLower(name) << "_gevps";
-    os << ",power_watts,instr_gips,core_ipc\n";
+    os << ",power_watts,instr_gips,core_ipc"
+          ",freq_ghz,epi_j,edp\n";
     for (const auto &s : samples) {
         os << csvField(s.workload) << "," << s.config.cores << ","
            << s.config.smt;
         for (double r : s.rates)
             os << "," << num(r);
         os << "," << num(s.powerWatts) << "," << num(s.instrGips)
-           << "," << num(s.coreIpc) << "\n";
+           << "," << num(s.coreIpc) << "," << num(s.freqGhz)
+           << "," << num(sampleEpiJoules(s)) << ","
+           << num(sampleEdp(s)) << "\n";
     }
 }
 
@@ -107,7 +111,10 @@ exportSamplesJson(std::ostream &os,
         }
         os << "}, \"power_watts\": " << num(s.powerWatts)
            << ", \"instr_gips\": " << num(s.instrGips)
-           << ", \"core_ipc\": " << num(s.coreIpc) << "}"
+           << ", \"core_ipc\": " << num(s.coreIpc)
+           << ", \"freq_ghz\": " << num(s.freqGhz)
+           << ", \"epi_j\": " << num(sampleEpiJoules(s))
+           << ", \"edp\": " << num(sampleEdp(s)) << "}"
            << (i + 1 < samples.size() ? "," : "") << "\n";
     }
     os << "]\n";

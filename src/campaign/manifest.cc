@@ -37,10 +37,16 @@ manifestToText(const CampaignManifest &m)
     for (const auto &e : m.entries) {
         std::snprintf(key, sizeof key, "%016" PRIx64, e.key);
         // The workload name goes last: it is the only field that
-        // may contain spaces.
+        // may contain spaces. Swept jobs append "@freq" to the
+        // config token; nominal-point jobs keep the pre-DVFS form.
         os << "job " << key << " " << e.config.cores << "-"
-           << e.config.smt << " " << e.source << "\t"
-           << e.workload << "\n";
+           << e.config.smt;
+        if (e.freqGhz > 0.0) {
+            char freq[40];
+            std::snprintf(freq, sizeof freq, "%.17g", e.freqGhz);
+            os << "@" << freq;
+        }
+        os << " " << e.source << "\t" << e.workload << "\n";
     }
     return os.str();
 }
@@ -92,16 +98,33 @@ manifestFromText(const std::string &text, CampaignManifest &out)
             auto head = splitWs(val.substr(0, tab));
             if (head.size() < 3)
                 return false;
-            auto cfg = split(head[1], '-');
+            // Config token: "cores-smt" (nominal point) or
+            // "cores-smt@freq" (swept job).
+            std::string cfg_tok = head[1];
+            auto at = cfg_tok.find('@');
+            std::string freq_tok;
+            if (at != std::string::npos) {
+                freq_tok = cfg_tok.substr(at + 1);
+                cfg_tok = cfg_tok.substr(0, at);
+            }
+            auto cfg = split(cfg_tok, '-');
             if (cfg.size() != 2)
                 return false;
             try {
                 e.key = std::stoull(head[0], nullptr, 16);
                 e.config.cores = std::stoi(cfg[0]);
                 e.config.smt = std::stoi(cfg[1]);
+                if (!freq_tok.empty())
+                    e.freqGhz = std::stod(freq_tok);
             } catch (const std::exception &) {
                 return false;
             }
+            // A "@freq" suffix promises a swept operating point; no
+            // campaign sweeps a non-positive clock, so such an
+            // entry is corrupt (an absent suffix is the nominal
+            // point, not corruption).
+            if (at != std::string::npos && e.freqGhz <= 0.0)
+                return false;
             // No campaign ever plans a job on fewer than one core
             // or SMT thread; such an entry (e.g. a corrupt "0-0")
             // is a parse failure, not a ChipConfig{0,0} job.

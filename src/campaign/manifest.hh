@@ -40,6 +40,13 @@ struct ManifestEntry
     std::string source;
     /** Program name (may contain spaces; serialized last). */
     std::string workload;
+    /**
+     * Swept core frequency in GHz; 0 = the machine's nominal
+     * operating point. Serialized as a "@freq" suffix on the
+     * config token only when non-zero, so pre-DVFS manifests (no
+     * suffix anywhere) parse unchanged as nominal-point jobs.
+     */
+    double freqGhz = 0.0;
 };
 
 /** The persisted job list of one campaign run. */

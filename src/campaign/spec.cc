@@ -44,6 +44,9 @@ CampaignSpec::contentSummary() const
     if (!any)
         os << "adhoc measurement";
     os << " x " << configs.size() << " configs";
+    if (!freqs.empty())
+        os << " x " << freqs.size()
+           << (freqs.size() == 1 ? " freq" : " freqs");
     return os.str();
 }
 
@@ -80,6 +83,26 @@ parseConfigList(const std::string &s, const std::string &context)
     }
     if (out.empty())
         fatal(cat("empty config list in ", context));
+    return out;
+}
+
+std::vector<double>
+parseFreqList(const std::string &s, const std::string &context)
+{
+    std::vector<double> out;
+    for (const auto &f : split(s, ',')) {
+        double ghz = parseDouble(trim(f), context);
+        if (ghz <= 0.0)
+            fatal(cat("frequency must be > 0 GHz, got '", trim(f),
+                      "' in ", context));
+        for (double seen : out)
+            if (seen == ghz)
+                fatal(cat("duplicate frequency ", trim(f), " in ",
+                          context));
+        out.push_back(ghz);
+    }
+    if (out.empty())
+        fatal(cat("empty frequency list in ", context));
     return out;
 }
 
@@ -174,6 +197,8 @@ parseCampaignSpecText(const std::string &text,
             spec.extremes = parseInt(val, context) != 0;
         } else if (key == "configs") {
             spec.configs = parseConfigList(val, context);
+        } else if (key == "freqs") {
+            spec.freqs = parseFreqList(val, context);
         } else if (key == "threads") {
             spec.threads =
                 static_cast<int>(parseInt(val, context));

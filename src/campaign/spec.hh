@@ -58,6 +58,16 @@ struct CampaignSpec
     /** Configurations each workload is measured on (default: the
      * paper's 24). */
     std::vector<ChipConfig> configs = ChipConfig::all();
+    /**
+     * DVFS frequency axis in GHz ("freqs = 2.0,2.5,3.0,3.5"):
+     * every (workload, config) pair is measured at every listed
+     * operating point (voltage follows the machine's V/f curve).
+     * Empty (the default) measures at the machine's nominal clock
+     * only, with job keys identical to pre-DVFS campaigns — a
+     * sweep that includes the nominal frequency reuses those cache
+     * entries too.
+     */
+    std::vector<double> freqs;
     /**@}*/
 
     /** @name Execution */
@@ -136,6 +146,14 @@ CampaignSpec loadCampaignSpec(const std::string &path);
 /** Parse "all" or a comma-separated "cores-smt" list. */
 std::vector<ChipConfig> parseConfigList(const std::string &s,
                                         const std::string &context);
+
+/**
+ * Parse a comma-separated GHz list ("2.0,2.5,3.0,3.5") as accepted
+ * by the `freqs` spec key and `mprobe_campaign --freqs`. Duplicate
+ * or non-positive frequencies are fatal() with @p context.
+ */
+std::vector<double> parseFreqList(const std::string &s,
+                                  const std::string &context);
 
 /**
  * Parse a shard selector "i/n" (0 <= i < n, n >= 1) as accepted by

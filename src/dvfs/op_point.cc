@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Operating-point labels.
+ */
+
+#include "dvfs/op_point.hh"
+
+#include <cstdio>
+
+namespace mprobe
+{
+
+std::string
+OperatingPoint::label() const
+{
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.3gGHz@%.3gV", freqGhz,
+                  voltage);
+    return buf;
+}
+
+} // namespace mprobe

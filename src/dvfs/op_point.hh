@@ -1,0 +1,51 @@
+/**
+ * @file
+ * DVFS operating points.
+ *
+ * The paper characterizes its machine at one fixed clock, but the
+ * largest energy knob on real hardware is the (voltage, frequency)
+ * operating point: dynamic power scales as V^2*f, static power
+ * roughly with V, and memory-bound workloads speed up sublinearly
+ * with frequency because main-memory latency in nanoseconds does
+ * not follow the core clock. This module makes that axis a
+ * first-class citizen: an OperatingPoint names one (f, V) pair, the
+ * machine model exposes its hidden V/f curve through
+ * Machine::operatingPoint, and the campaign engine sweeps a
+ * `freqs` axis the same way it sweeps CMP/SMT configurations.
+ */
+
+#ifndef DVFS_OP_POINT_HH
+#define DVFS_OP_POINT_HH
+
+#include <string>
+
+namespace mprobe
+{
+
+/**
+ * Reference clock of the paper's machine in GHz, and the frequency
+ * every pre-DVFS measurement implicitly ran at: cache entries and
+ * manifest rows serialized without a frequency field load as this
+ * value, so upgrading a cache directory is miss-free.
+ */
+constexpr double kNominalFreqGhz = 3.0;
+
+/**
+ * One DVFS operating point: a core frequency and the supply voltage
+ * the machine's V/f curve assigns to it. Construct through
+ * Machine::operatingPoint so the voltage matches the machine's
+ * hidden curve; a hand-built point with an off-curve voltage is a
+ * what-if experiment, which Machine::run happily simulates.
+ */
+struct OperatingPoint
+{
+    double freqGhz = kNominalFreqGhz;
+    double voltage = 1.0;
+
+    /** "2.5GHz@0.92V" label used in sweep reports. */
+    std::string label() const;
+};
+
+} // namespace mprobe
+
+#endif // DVFS_OP_POINT_HH

@@ -27,6 +27,7 @@ makeSample(const std::string &workload, const RunResult &r)
     s.powerWatts = r.sensorWatts;
     s.instrGips = r.rate(r.chip.instrs) * kGiga;
     s.coreIpc = r.coreIpc;
+    s.freqGhz = r.freqGhz > 0.0 ? r.freqGhz : kNominalFreqGhz;
     return s;
 }
 

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "dvfs/op_point.hh"
 #include "sim/machine.hh"
 
 namespace mprobe
@@ -48,6 +49,10 @@ struct Sample
     double instrGips = 0.0;
     /** Per-core IPC over the window (not a model input). */
     double coreIpc = 0.0;
+    /** Core frequency the point was measured at, GHz (not a model
+     * input; the DVFS sweep axis). Pre-DVFS cache entries without
+     * the field load as the nominal kNominalFreqGhz. */
+    double freqGhz = kNominalFreqGhz;
 
     /** Number of cores as a model input. */
     double coresVar() const { return config.cores; }

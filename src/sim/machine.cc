@@ -5,6 +5,7 @@
 
 #include "sim/machine.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/hash.hh"
@@ -62,28 +63,92 @@ Machine::sensorize(double watts, uint64_t seed) const
 }
 
 double
+Machine::voltageAt(double freq_ghz) const
+{
+    return std::max(params.vddFloor,
+                    params.vddNominal +
+                        params.vddSlopePerGhz *
+                            (freq_ghz - params.clockGhz));
+}
+
+OperatingPoint
+Machine::operatingPoint(double freq_ghz) const
+{
+    if (freq_ghz <= 0.0)
+        freq_ghz = params.clockGhz;
+    return {freq_ghz, voltageAt(freq_ghz)};
+}
+
+namespace
+{
+
+/**
+ * Mix a swept frequency into a sensor seed. The nominal point
+ * leaves the seed untouched so every pre-DVFS measurement (and its
+ * cache entry) stays bit-identical.
+ */
+uint64_t
+mixFreqSeed(uint64_t seed, double freq_ghz, double nominal_ghz)
+{
+    if (freq_ghz == nominal_ghz)
+        return seed;
+    return hashCombine(
+        seed, static_cast<uint64_t>(std::llround(freq_ghz * 1e6)));
+}
+
+} // namespace
+
+double
 Machine::idleWatts(const ChipConfig &cfg, uint64_t salt) const
+{
+    return idleWatts(cfg, operatingPoint(), salt);
+}
+
+double
+Machine::idleWatts(const ChipConfig &cfg, const OperatingPoint &op,
+                   uint64_t salt) const
 {
     uint64_t seed = 0x1d1efeedull ^
                     (static_cast<uint64_t>(cfg.cores) << 8) ^
                     (static_cast<uint64_t>(cfg.smt) << 16) ^ salt;
-    return sensorize(params.idleWatts, seed);
+    seed = mixFreqSeed(seed, op.freqGhz, params.clockGhz);
+    double vr = op.voltage / voltageAt(params.clockGhz);
+    return sensorize(params.idleWatts * vr, seed);
 }
 
 RunResult
 Machine::run(const Program &prog, const ChipConfig &cfg,
              uint64_t salt) const
 {
+    return run(prog, cfg, operatingPoint(), salt);
+}
+
+RunResult
+Machine::run(const Program &prog, const ChipConfig &cfg,
+             const OperatingPoint &op, uint64_t salt) const
+{
     if (cfg.cores < 1 || cfg.cores > 8)
         fatal(cat("bad core count ", cfg.cores));
     if (cfg.smt != 1 && cfg.smt != 2 && cfg.smt != 4)
         fatal(cat("bad SMT mode ", cfg.smt));
+    if (op.freqGhz <= 0.0 || op.voltage <= 0.0)
+        fatal(cat("bad operating point ", op.freqGhz, " GHz @ ",
+                  op.voltage, " V"));
     if (prog.isa != isaPtr)
         fatal(cat("program '", prog.name,
                   "' was generated for a different ISA"));
 
+    // Main-memory latency is fixed in nanoseconds; its cycle count
+    // follows the core clock. Core/cache latencies are clock-domain
+    // cycles and stay put. lat_scale is exactly 1.0 at the nominal
+    // point, so the legacy path is reproduced bit for bit.
+    double lat_scale = op.freqGhz / params.clockGhz;
+
     // First pass at the uncontended memory latency.
     CoreSimOptions opts = simOpts;
+    opts.memLatency = std::max(
+        1, static_cast<int>(
+               std::lround(simOpts.memLatency * lat_scale)));
     CoreResult core = simulateCore(exec, prog, cfg.smt, opts);
 
     // Shared-memory contention: when several cores stream from
@@ -95,8 +160,10 @@ Machine::run(const Program &prog, const ChipConfig &cfg,
     if (cfg.cores > 1 && mem_per_cycle > 1e-3) {
         double factor = 1.0 + params.memContentionK *
                                   mem_per_cycle * (cfg.cores - 1);
-        opts.memLatency = static_cast<int>(
-            std::lround(ExecModel::memLatencyBase * factor));
+        opts.memLatency = std::max(
+            1, static_cast<int>(std::lround(
+                   ExecModel::memLatencyBase * lat_scale *
+                   factor)));
         core = simulateCore(exec, prog, cfg.smt, opts);
     }
 
@@ -108,31 +175,38 @@ Machine::run(const Program &prog, const ChipConfig &cfg,
     res.chip.cycles = core.window.cycles;
     res.coreIpc = core.window.ipc();
     res.seconds =
-        core.window.cycles / (params.clockGhz * 1e9);
+        core.window.cycles / (op.freqGhz * 1e9);
+    res.freqGhz = op.freqGhz;
+    res.voltage = op.voltage;
 
-    // Hidden chip power composition.
-    double dyn = cfg.cores * core.window.energyNj * 1e-9 /
-                 std::max(res.seconds, 1e-15);
+    // Hidden chip power composition. Dynamic energy per op scales
+    // with V^2 (vr is 1.0 at the nominal point); every static term
+    // scales with V.
+    double vr = op.voltage / voltageAt(params.clockGhz);
+    double dyn = vr * vr * cfg.cores * core.window.energyNj *
+                 1e-9 / std::max(res.seconds, 1e-15);
     double smt_w =
         cfg.smt > 1
-            ? cfg.cores * (params.smtEffectWatts +
-                           (cfg.smt == 4 ? params.smt4ExtraWatts
-                                         : 0.0))
+            ? vr * cfg.cores *
+                  (params.smtEffectWatts +
+                   (cfg.smt == 4 ? params.smt4ExtraWatts : 0.0))
             : 0.0;
-    double cmp_w = staticCmpWatts(cfg.cores);
+    double cmp_w = vr * staticCmpWatts(cfg.cores);
     double total = dyn + smt_w + cmp_w +
-                   params.uncoreActiveWatts + params.idleWatts;
+                   vr * params.uncoreActiveWatts +
+                   vr * params.idleWatts;
 
     uint64_t seed = hashStr(prog.name) ^
                     (static_cast<uint64_t>(cfg.cores) << 32) ^
                     (static_cast<uint64_t>(cfg.smt) << 40) ^ salt;
+    seed = mixFreqSeed(seed, op.freqGhz, params.clockGhz);
     res.sensorWatts = sensorize(total, seed);
 
     res.gtDynamicWatts = dyn;
     res.gtSmtWatts = smt_w;
     res.gtCmpWatts = cmp_w;
-    res.gtUncoreWatts = params.uncoreActiveWatts;
-    res.gtIdleWatts = params.idleWatts;
+    res.gtUncoreWatts = vr * params.uncoreActiveWatts;
+    res.gtIdleWatts = vr * params.idleWatts;
     return res;
 }
 
@@ -163,6 +237,17 @@ Machine::fingerprint() const
         .add(params.smt4ExtraWatts)
         .add(params.sensorNoiseFrac)
         .add(params.memContentionK);
+    // The V/f-curve parameters are hashed only when they deviate
+    // from the defaults: default-curve machines keep the exact
+    // pre-DVFS fingerprint, so existing cache directories upgrade
+    // miss-free (job keys already distinguish swept frequencies).
+    GroundTruthParams defaults;
+    if (params.vddNominal != defaults.vddNominal ||
+        params.vddSlopePerGhz != defaults.vddSlopePerGhz ||
+        params.vddFloor != defaults.vddFloor)
+        h.add(params.vddNominal)
+            .add(params.vddSlopePerGhz)
+            .add(params.vddFloor);
     h.add(simOpts.memLatency)
         .add(simOpts.warmupIters)
         .add(simOpts.measureIters)

@@ -21,6 +21,7 @@
 
 #include <string>
 
+#include "dvfs/op_point.hh"
 #include "sim/core.hh"
 
 namespace mprobe
@@ -62,6 +63,20 @@ struct GroundTruthParams
     double sensorNoiseFrac = 0.0015;
     /** Shared-memory-bandwidth contention strength. */
     double memContentionK = 6.0;
+    /**
+     * @name Hidden V/f operating-point curve (DVFS ground truth)
+     * The supply voltage at frequency f is
+     *     V(f) = max(vddFloor, vddNominal + vddSlopePerGhz*(f - clockGhz)),
+     * i.e. linear in f with a floor below which the silicon cannot
+     * be undervolted further — the shape Papadimitriou et al.
+     * characterize on real server parts. Dynamic power scales with
+     * V^2*f, static power with V.
+     */
+    /**@{*/
+    double vddNominal = 1.00;
+    double vddSlopePerGhz = 0.16;
+    double vddFloor = 0.85;
+    /**@}*/
 };
 
 /** Everything one deployment/measurement produces. */
@@ -77,6 +92,10 @@ struct RunResult
     double sensorWatts = 0.0;
     /** Per-core IPC over the window. */
     double coreIpc = 0.0;
+    /** Operating point this run executed at (the machine's nominal
+     * clock unless the caller swept it). */
+    double freqGhz = 0.0;
+    double voltage = 0.0;
 
     /**
      * @name Ground-truth oracle (tests and EXPERIMENTS.md only)
@@ -127,7 +146,8 @@ class Machine
 
     /**
      * Deploy one copy of @p prog per hardware thread of @p cfg, warm
-     * up, and measure a steady-state window.
+     * up, and measure a steady-state window at the nominal
+     * operating point.
      *
      * @param salt extra seed material for the sensor noise so
      *             repeated measurements differ slightly, as on real
@@ -136,8 +156,38 @@ class Machine
     RunResult run(const Program &prog, const ChipConfig &cfg,
                   uint64_t salt = 0) const;
 
+    /**
+     * Deploy at an explicit DVFS operating point. Core and cache
+     * latencies are clock-domain cycles and keep their cycle
+     * counts; main-memory latency is fixed in nanoseconds, so its
+     * cycle count scales with frequency — which is what makes
+     * memory-bound workloads speed up sublinearly with f. Dynamic
+     * power scales as V^2*f (energy per op scales with V^2, ops per
+     * second with f), every static term as V. At the nominal point
+     * this is bit-identical to the two-argument overload.
+     */
+    RunResult run(const Program &prog, const ChipConfig &cfg,
+                  const OperatingPoint &op, uint64_t salt = 0) const;
+
     /** Sensor reading with no workload: workload-independent power. */
     double idleWatts(const ChipConfig &cfg, uint64_t salt = 0) const;
+
+    /** Idle power at an explicit operating point (scales with V). */
+    double idleWatts(const ChipConfig &cfg, const OperatingPoint &op,
+                     uint64_t salt = 0) const;
+
+    /** Supply voltage of the hidden V/f curve at @p freq_ghz. */
+    double voltageAt(double freq_ghz) const;
+
+    /**
+     * The operating point at @p freq_ghz (voltage from the V/f
+     * curve); non-positive frequencies select the nominal clock.
+     */
+    OperatingPoint operatingPoint(double freq_ghz = 0.0) const;
+
+    /** Nominal core clock in GHz (public knowledge, as on real
+     * hardware; not an oracle). */
+    double clockGhz() const { return params.clockGhz; }
 
     /** Simulation knobs (iterations, prefetcher, ...). */
     CoreSimOptions &simOptions() { return simOpts; }

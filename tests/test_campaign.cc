@@ -86,7 +86,8 @@ samplesEqual(const Sample &a, const Sample &b)
            a.config.cores == b.config.cores &&
            a.config.smt == b.config.smt && a.rates == b.rates &&
            a.powerWatts == b.powerWatts &&
-           a.instrGips == b.instrGips && a.coreIpc == b.coreIpc;
+           a.instrGips == b.instrGips && a.coreIpc == b.coreIpc &&
+           a.freqGhz == b.freqGhz;
 }
 
 } // namespace
@@ -647,7 +648,7 @@ TEST(Export, CsvShapeAndQuoting)
     EXPECT_EQ(header,
               "workload,cores,smt,fxu_gevps,vsu_gevps,lsu_gevps,"
               "l1_gevps,l2_gevps,l3_gevps,mem_gevps,power_watts,"
-              "instr_gips,core_ipc");
+              "instr_gips,core_ipc,freq_ghz,epi_j,edp");
     EXPECT_NE(row.find("\"weird,\"\"name\"\"\""),
               std::string::npos);
     EXPECT_NE(row.find("100.5"), std::string::npos);
@@ -1324,6 +1325,329 @@ TEST(ParallelFor, AbandonedIndicesAreLoggedWithLabel)
     EXPECT_EQ(testing::internal::GetCapturedStderr().find(
                   "abandoned"),
               std::string::npos);
+}
+
+// ---------------------------------------------------------------
+// DVFS frequency axis
+
+TEST(CampaignSpec, FreqsKeyParses)
+{
+    CampaignSpec spec = parseCampaignSpecText(
+        "freqs = 2.0, 2.5,3.0,3.5\n", "<test>");
+    ASSERT_EQ(spec.freqs.size(), 4u);
+    EXPECT_EQ(spec.freqs[0], 2.0);
+    EXPECT_EQ(spec.freqs[3], 3.5);
+    // Default: no axis.
+    EXPECT_TRUE(parseCampaignSpecText("", "<test>").freqs.empty());
+}
+
+TEST(CampaignSpecDeath, BadFreqsFatal)
+{
+    EXPECT_EXIT(parseCampaignSpecText("freqs = 0\n", "<test>"),
+                testing::ExitedWithCode(1), "must be > 0");
+    EXPECT_EXIT(parseCampaignSpecText("freqs = 2.0,-1\n", "<test>"),
+                testing::ExitedWithCode(1), "must be > 0");
+    EXPECT_EXIT(
+        parseCampaignSpecText("freqs = 2.0,2.0\n", "<test>"),
+        testing::ExitedWithCode(1), "duplicate frequency");
+}
+
+TEST(CampaignJobKey, FrequencyJoinsTheKeyOnlyWhenSwept)
+{
+    Fixture f;
+    auto progs = f.programs(1);
+    uint64_t fp = f.machine.fingerprint();
+    uint64_t legacy = campaignJobKey(progs[0], {1, 1}, fp, 0);
+    // The nominal sentinel (0) is the pre-DVFS key: a cache
+    // written before the frequency axis existed keeps hitting.
+    EXPECT_EQ(legacy, campaignJobKey(progs[0], {1, 1}, fp, 0, 0.0));
+    // Swept points get their own keys, distinct per frequency.
+    uint64_t k25 = campaignJobKey(progs[0], {1, 1}, fp, 0, 2.5);
+    uint64_t k35 = campaignJobKey(progs[0], {1, 1}, fp, 0, 3.5);
+    EXPECT_NE(legacy, k25);
+    EXPECT_NE(legacy, k35);
+    EXPECT_NE(k25, k35);
+}
+
+TEST(CampaignFreqs, ExpansionCrossProductsAndNominalCollapses)
+{
+    Fixture f;
+    auto progs = f.programs(2);
+    std::vector<ChipConfig> cfgs = {{1, 1}, {2, 1}};
+
+    // Reference: the axis-free measurement.
+    Campaign ref(f.machine, tinySpec());
+    auto nominal = ref.measure(progs, cfgs);
+
+    CampaignSpec spec = tinySpec();
+    spec.freqs = {2.0, f.machine.clockGhz(), 3.5};
+    Campaign c(f.machine, spec);
+    auto swept = c.measure(progs, cfgs);
+
+    // Workload-major, config then frequency innermost.
+    ASSERT_EQ(swept.size(),
+              progs.size() * cfgs.size() * spec.freqs.size());
+    for (size_t w = 0; w < progs.size(); ++w) {
+        for (size_t cfg = 0; cfg < cfgs.size(); ++cfg) {
+            size_t base =
+                (w * cfgs.size() + cfg) * spec.freqs.size();
+            for (size_t fi = 0; fi < spec.freqs.size(); ++fi) {
+                const Sample &s = swept[base + fi];
+                EXPECT_EQ(s.workload, progs[w].name);
+                EXPECT_EQ(s.config.cores, cfgs[cfg].cores);
+                EXPECT_EQ(s.freqGhz, spec.freqs[fi]);
+            }
+            // The sweep point at the nominal clock is exactly the
+            // axis-free measurement (same key, same salt, same
+            // sensor noise).
+            EXPECT_TRUE(samplesEqual(
+                swept[base + 1], nominal[w * cfgs.size() + cfg]));
+        }
+    }
+
+    // Physics across the samples: the sweep must not be a rename —
+    // power moves with the operating point.
+    EXPECT_NE(swept[0].powerWatts, swept[1].powerWatts);
+    EXPECT_NE(swept[1].powerWatts, swept[2].powerWatts);
+}
+
+TEST(CampaignFreqs, SweptCampaignSharesNominalCacheEntries)
+{
+    // The miss-free upgrade: a cache populated by an axis-free
+    // campaign serves the nominal slice of a later sweep.
+    Fixture f;
+    auto progs = f.programs(2);
+    std::vector<ChipConfig> cfgs = {{1, 1}, {2, 1}};
+    CampaignSpec spec = tinySpec();
+    spec.cacheDir = freshCacheDir("freq-upgrade");
+
+    Campaign legacy(f.machine, spec);
+    legacy.measure(progs, cfgs);
+    EXPECT_EQ(legacy.cacheMisses(), progs.size() * cfgs.size());
+
+    CampaignSpec sweep_spec = spec;
+    sweep_spec.freqs = {2.0, f.machine.clockGhz()};
+    Campaign sweep(f.machine, sweep_spec);
+    sweep.measure(progs, cfgs);
+    // Half the sweep (the nominal points) hits the legacy entries.
+    EXPECT_EQ(sweep.cacheHits(), progs.size() * cfgs.size());
+    EXPECT_EQ(sweep.cacheMisses(), progs.size() * cfgs.size());
+}
+
+TEST(SampleText, MissingFreqLoadsAsNominalDefault)
+{
+    // Pre-DVFS cache entries carry no freq line: they must load as
+    // the 3.0 GHz default (a hit, not a cold re-run).
+    Sample s;
+    s.workload = "w";
+    s.config = {1, 1};
+    s.rates = {1, 2, 3, 4, 5, 6, 7};
+    s.powerWatts = 70.0;
+    s.instrGips = 1.0;
+    s.coreIpc = 1.0;
+    s.freqGhz = 2.5;
+    std::string text = sampleToText(s);
+    auto at = text.find("freq ");
+    ASSERT_NE(at, std::string::npos);
+    // Erase the freq line (pre-DVFS writers never emitted one).
+    std::string legacy =
+        text.substr(0, at) + text.substr(text.find('\n', at) + 1);
+    Sample t;
+    t.freqGhz = 99.0; // stale state must not leak through
+    ASSERT_TRUE(sampleFromText(legacy, t));
+    EXPECT_EQ(t.freqGhz, kNominalFreqGhz);
+    // While an explicit non-positive frequency is corrupt.
+    for (const char *bad : {"freq 0\n", "freq -2.5\n", "freq x\n"}) {
+        Sample u;
+        EXPECT_FALSE(sampleFromText(legacy + bad, u)) << bad;
+    }
+    // And the full round-trip preserves a swept frequency.
+    Sample v;
+    ASSERT_TRUE(sampleFromText(text, v));
+    EXPECT_EQ(v.freqGhz, 2.5);
+}
+
+TEST(CampaignCache, LegacyEntryWithoutFreqIsAHit)
+{
+    // End to end: strip the freq line off a real cache entry (as a
+    // pre-DVFS run would have written it) and re-measure — the
+    // entry must stay a hit.
+    Fixture f;
+    auto progs = f.programs(1);
+    std::vector<ChipConfig> cfgs = {{1, 1}};
+    CampaignSpec spec = tinySpec();
+    spec.cacheDir = freshCacheDir("freq-legacy");
+
+    Campaign c(f.machine, spec);
+    auto s1 = c.measure(progs, cfgs);
+
+    uint64_t key = campaignJobKey(progs[0], cfgs[0],
+                                  f.machine.fingerprint(), 0);
+    ResultCache cache(spec.cacheDir);
+    std::string text;
+    {
+        std::ifstream in(cache.pathOf(key));
+        std::ostringstream os;
+        os << in.rdbuf();
+        text = os.str();
+    }
+    auto at = text.find("freq ");
+    ASSERT_NE(at, std::string::npos);
+    {
+        std::ofstream out(cache.pathOf(key));
+        out << text.substr(0, at)
+            << text.substr(text.find('\n', at) + 1);
+    }
+    Campaign c2(f.machine, spec);
+    auto s2 = c2.measure(progs, cfgs);
+    EXPECT_EQ(c2.cacheHits(), 1u);
+    EXPECT_EQ(c2.cacheMisses(), 0u);
+    EXPECT_TRUE(samplesEqual(s1[0], s2[0]));
+}
+
+TEST(CampaignManifest, FreqSuffixRoundTripsAndRejectsCorrupt)
+{
+    CampaignManifest m;
+    m.spec = "s";
+    m.fingerprint = 7;
+    m.entries.push_back({1, {1, 1}, "adhoc", "nominal", 0.0});
+    m.entries.push_back({2, {8, 4}, "adhoc", "swept", 2.5});
+    std::string text = manifestToText(m);
+    // Nominal entries keep the pre-DVFS token; swept ones gain @.
+    EXPECT_NE(text.find(" 1-1 "), std::string::npos);
+    EXPECT_NE(text.find(" 8-4@2.5 "), std::string::npos);
+    CampaignManifest t;
+    ASSERT_TRUE(manifestFromText(text, t));
+    EXPECT_EQ(t.entries[0].freqGhz, 0.0);
+    EXPECT_EQ(t.entries[1].freqGhz, 2.5);
+    // A non-positive swept frequency is corrupt, like a
+    // non-positive config.
+    for (const char *bad : {"8-4@0", "8-4@-1", "8-4@"}) {
+        std::string broken = text;
+        auto at = broken.find("8-4@2.5");
+        broken.replace(at, 7, bad);
+        CampaignManifest u;
+        EXPECT_FALSE(manifestFromText(broken, u)) << bad;
+    }
+}
+
+TEST(CampaignShard, ShardedFreqSweepMergesBitIdentical)
+{
+    // The acceptance bar: a sharded frequency-sweep campaign
+    // assembles byte-identically to the unsharded run.
+    Fixture f;
+    auto sweep_spec = []() {
+        CampaignSpec spec = tinySpec();
+        spec.configs = {{1, 1}, {2, 2}};
+        spec.freqs = {2.0, 3.0, 3.5};
+        return spec;
+    };
+
+    CampaignSpec ref_spec = sweep_spec();
+    ref_spec.threads = 1;
+    ref_spec.cacheDir = freshCacheDir("freq-shard-ref");
+    Campaign ref(f.machine, ref_spec);
+    CampaignResult r = ref.run(f.arch);
+    EXPECT_EQ(r.totalJobs, r.workloads.size() * 2 * 3);
+    std::ostringstream ref_csv;
+    exportSamplesCsv(ref_csv, r.samples);
+
+    CampaignSpec spec = sweep_spec();
+    spec.cacheDir = freshCacheDir("freq-shard");
+    spec.shardCount = 2;
+    std::set<uint64_t> seen;
+    for (int index = 0; index < 2; ++index) {
+        spec.shardIndex = index;
+        Campaign shard(f.machine, spec);
+        CampaignResult sr = shard.run(f.arch);
+        EXPECT_EQ(sr.cacheHits, 0u) << index;
+        for (const auto &job : sr.jobs)
+            EXPECT_TRUE(seen.insert(job.key).second);
+    }
+    EXPECT_EQ(seen.size(), r.jobs.size());
+
+    CampaignManifest m;
+    ASSERT_TRUE(loadManifest(manifestPath(spec.cacheDir), m));
+    ResultCache cache(spec.cacheDir);
+    ManifestCollection col = collectManifestSamples(m, cache);
+    EXPECT_TRUE(col.missing.empty());
+    std::ostringstream merged_csv;
+    exportSamplesCsv(merged_csv, col.samples);
+    EXPECT_EQ(merged_csv.str(), ref_csv.str());
+}
+
+// ---------------------------------------------------------------
+// Progress ETA and cost-model calibration
+
+TEST(CampaignProgress, LinesIncludeCostWeightedEta)
+{
+    Fixture f;
+    auto progs = f.programs(4, 768);
+    CampaignSpec spec = tinySpec();
+    spec.threads = 1;
+    spec.progressSeconds = 0.001;
+    Campaign c(f.machine, spec);
+    testing::internal::CaptureStderr();
+    c.measure(progs, {ChipConfig{1, 1}, ChipConfig{2, 2},
+                      ChipConfig{4, 2}});
+    std::string err = testing::internal::GetCapturedStderr();
+    ASSERT_NE(err.find("jobs done"), std::string::npos) << err;
+    EXPECT_NE(err.find("s left"), std::string::npos) << err;
+}
+
+TEST(CampaignRun, RecordsPerJobWallSeconds)
+{
+    Fixture f;
+    CampaignSpec spec = tinySpec();
+    Campaign c(f.machine, spec);
+    CampaignResult r = c.run(f.arch);
+    ASSERT_EQ(r.jobSeconds.size(), r.jobs.size());
+    ASSERT_EQ(r.jobCached.size(), r.jobs.size());
+    for (size_t i = 0; i < r.jobs.size(); ++i) {
+        EXPECT_GT(r.jobSeconds[i], 0.0) << i;
+        EXPECT_EQ(r.jobCached[i], 0) << i; // no cache dir: all cold
+    }
+}
+
+TEST(JobCost, CalibrationRecoversKnownConstants)
+{
+    // Synthetic timings from known constants: seconds =
+    // a + b * threads * body. The fit must recover them and the
+    // normalized model must land at perJob = a/b.
+    const double a = 3e-4, b = 2e-8;
+    std::vector<JobTiming> timings;
+    for (int cores : {1, 2, 4, 8})
+        for (int smt : {1, 2, 4})
+            for (size_t body : {256u, 1024u, 4096u})
+                timings.push_back(
+                    {{cores, smt}, body,
+                     a + b * cores * smt *
+                             static_cast<double>(body),
+                     false});
+    // Cache hits must be ignored, not fitted.
+    timings.push_back({{8, 4}, 4096, 1e-6, true});
+
+    CostCalibration cal = calibrateJobCostModel(timings);
+    ASSERT_TRUE(cal.ok);
+    EXPECT_EQ(cal.used, timings.size() - 1);
+    EXPECT_NEAR(cal.perJobSeconds, a, a * 1e-6);
+    EXPECT_NEAR(cal.perSlotThreadSeconds, b, b * 1e-6);
+    EXPECT_NEAR(cal.fitted.perJob, a / b, a / b * 1e-6);
+    EXPECT_EQ(cal.fitted.perSlotThread, 1.0);
+    EXPECT_GT(cal.r2, 0.999);
+}
+
+TEST(JobCost, CalibrationRefusesDegenerateInput)
+{
+    // All-cached, empty, or single-size inputs cannot support a
+    // fit.
+    EXPECT_FALSE(calibrateJobCostModel({}).ok);
+    std::vector<JobTiming> cached = {{{1, 1}, 256, 0.1, true},
+                                     {{8, 4}, 4096, 0.9, true}};
+    EXPECT_FALSE(calibrateJobCostModel(cached).ok);
+    std::vector<JobTiming> flat = {{{1, 1}, 256, 0.1, false},
+                                   {{1, 1}, 256, 0.2, false}};
+    EXPECT_FALSE(calibrateJobCostModel(flat).ok);
 }
 
 TEST(CampaignFingerprint, CorpusTagSeparatesManifests)

@@ -1,0 +1,371 @@
+/**
+ * @file
+ * Tests for the DVFS operating-point subsystem: the machine's V/f
+ * curve and power scaling, the compute-vs-memory frequency
+ * response, the sweep analysis (energy-optimal points) and the
+ * cross-frequency model validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "campaign/campaign.hh"
+#include "dvfs/sweep.hh"
+#include "microprobe/passes.hh"
+#include "microprobe/synthesizer.hh"
+#include "power/bottomup.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+#include "workloads/extremes.hh"
+
+using namespace mprobe;
+
+namespace
+{
+
+struct Fixture
+{
+    Architecture arch = Architecture::get("POWER7");
+    Machine machine{arch.isa()};
+
+    /** Compute-bound loop: integer ops, no memory accesses. */
+    Program
+    computeBound(size_t body = 512)
+    {
+        Synthesizer synth(arch, 0xc0deull);
+        synth.addPass<SkeletonPass>(body);
+        synth.addPass<InstructionMixPass>(
+            arch.isa().integerOps());
+        synth.addPass<RegisterInitPass>(DataPattern::Random);
+        return synth.synthesize("compute-bound");
+    }
+
+    /** Memory-bound loop: the Section-4.1.3 "Main memory" case. */
+    Program
+    memoryBound(size_t body = 512)
+    {
+        for (auto &c : generateExtremeCases(arch, body))
+            if (c.name == "Main memory")
+                return std::move(c.program);
+        ADD_FAILURE() << "no Main memory extreme case";
+        return Program();
+    }
+
+    /** A few distinct random workloads for model training. */
+    std::vector<Program>
+    randoms(int n, size_t body = 256)
+    {
+        std::vector<Program> out;
+        for (int i = 0; i < n; ++i) {
+            Synthesizer synth(arch,
+                              0xd1ceull + static_cast<uint64_t>(i));
+            synth.addPass<SkeletonPass>(body);
+            synth.addPass<InstructionMixPass>(
+                arch.isa().integerOps());
+            synth.addPass<RegisterInitPass>(DataPattern::Random);
+            out.push_back(synth.synthesize(cat("rand-", i)));
+        }
+        return out;
+    }
+};
+
+/** Measurement-only campaign spec sweeping @p freqs. */
+CampaignSpec
+sweepSpec(std::vector<double> freqs)
+{
+    CampaignSpec spec = measurementSpec(2);
+    spec.freqs = std::move(freqs);
+    return spec;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------
+// The V/f curve
+
+TEST(VfCurve, LinearAboveTheFloor)
+{
+    Fixture f;
+    const GroundTruthParams &p = f.machine.groundTruth();
+    // Nominal frequency sits at the nominal voltage.
+    EXPECT_DOUBLE_EQ(f.machine.voltageAt(p.clockGhz),
+                     p.vddNominal);
+    // Linear slope above the floor knee...
+    EXPECT_DOUBLE_EQ(f.machine.voltageAt(p.clockGhz + 0.5),
+                     p.vddNominal + 0.5 * p.vddSlopePerGhz);
+    // ...and a hard floor below it.
+    EXPECT_DOUBLE_EQ(f.machine.voltageAt(0.5), p.vddFloor);
+    EXPECT_DOUBLE_EQ(f.machine.voltageAt(2.0), p.vddFloor);
+    // operatingPoint ties frequency and curve voltage together;
+    // non-positive selects the nominal clock.
+    OperatingPoint op = f.machine.operatingPoint(3.5);
+    EXPECT_EQ(op.freqGhz, 3.5);
+    EXPECT_DOUBLE_EQ(op.voltage, f.machine.voltageAt(3.5));
+    EXPECT_EQ(f.machine.operatingPoint().freqGhz, p.clockGhz);
+    EXPECT_EQ(f.machine.operatingPoint(-1.0).freqGhz, p.clockGhz);
+}
+
+// ---------------------------------------------------------------
+// Machine power/performance scaling
+
+TEST(DvfsMachine, NominalPointIsBitIdenticalToLegacyRun)
+{
+    Fixture f;
+    Program prog = f.computeBound();
+    for (ChipConfig cfg : {ChipConfig{1, 1}, ChipConfig{4, 2}}) {
+        RunResult legacy = f.machine.run(prog, cfg, 7);
+        RunResult nominal = f.machine.run(
+            prog, cfg, f.machine.operatingPoint(), 7);
+        EXPECT_EQ(legacy.sensorWatts, nominal.sensorWatts);
+        EXPECT_EQ(legacy.seconds, nominal.seconds);
+        EXPECT_EQ(legacy.coreIpc, nominal.coreIpc);
+        EXPECT_EQ(legacy.gtDynamicWatts, nominal.gtDynamicWatts);
+        EXPECT_EQ(legacy.freqGhz,
+                  f.machine.groundTruth().clockGhz);
+    }
+}
+
+TEST(DvfsMachine, DynamicPowerScalesAsV2F)
+{
+    // A compute-bound loop never touches memory, so its cycle
+    // count is frequency-invariant: dynamic power must scale
+    // exactly as V^2 * f, static terms exactly as V.
+    Fixture f;
+    Program prog = f.computeBound();
+    ChipConfig cfg{2, 1};
+    RunResult base = f.machine.run(prog, cfg);
+    double f0 = f.machine.groundTruth().clockGhz;
+    double v0 = f.machine.voltageAt(f0);
+    for (double freq : {2.0, 2.5, 3.5}) {
+        RunResult r = f.machine.run(
+            prog, cfg, f.machine.operatingPoint(freq));
+        double vr = f.machine.voltageAt(freq) / v0;
+        EXPECT_NEAR(r.gtDynamicWatts,
+                    base.gtDynamicWatts * vr * vr * (freq / f0),
+                    1e-9 * base.gtDynamicWatts)
+            << freq;
+        EXPECT_NEAR(r.gtIdleWatts, base.gtIdleWatts * vr,
+                    1e-12 * base.gtIdleWatts)
+            << freq;
+        EXPECT_NEAR(r.gtCmpWatts, base.gtCmpWatts * vr,
+                    1e-12 * base.gtCmpWatts)
+            << freq;
+        // Compute-bound instruction rate tracks the clock.
+        EXPECT_NEAR(r.rate(r.chip.instrs),
+                    base.rate(base.chip.instrs) * (freq / f0),
+                    1e-9 * base.rate(base.chip.instrs))
+            << freq;
+    }
+}
+
+TEST(DvfsMachine, MemoryBoundThroughputIsSublinearInFrequency)
+{
+    // Main-memory latency is fixed in nanoseconds, so its cycle
+    // cost grows with the clock: a memory-bound loop must gain far
+    // less throughput from 2.0 -> 3.5 GHz than a compute-bound
+    // one, while still not losing any.
+    Fixture f;
+    Program mem = f.memoryBound();
+    Program cpu = f.computeBound();
+    ChipConfig cfg{1, 1};
+    auto rate_at = [&](const Program &p, double freq) {
+        RunResult r =
+            f.machine.run(p, cfg, f.machine.operatingPoint(freq));
+        return r.rate(r.chip.instrs);
+    };
+    double cpu_gain = rate_at(cpu, 3.5) / rate_at(cpu, 2.0);
+    double mem_gain = rate_at(mem, 3.5) / rate_at(mem, 2.0);
+    EXPECT_NEAR(cpu_gain, 3.5 / 2.0, 1e-6);
+    EXPECT_GE(mem_gain, 1.0);
+    EXPECT_LT(mem_gain, 0.75 * cpu_gain);
+}
+
+TEST(DvfsMachine, IdleWattsScalesWithVoltage)
+{
+    Fixture f;
+    ChipConfig cfg{8, 1};
+    double nominal = f.machine.idleWatts(cfg);
+    double low =
+        f.machine.idleWatts(cfg, f.machine.operatingPoint(2.0));
+    double v0 = f.machine.voltageAt(f.machine.clockGhz());
+    double vr = f.machine.voltageAt(2.0) / v0;
+    // Sensorized (noise + mW quantization): compare loosely.
+    EXPECT_NEAR(low, nominal * vr, 0.02 * nominal);
+    EXPECT_LT(low, nominal);
+}
+
+TEST(DvfsMachineDeath, BadOperatingPointFatal)
+{
+    Fixture f;
+    Program prog = f.computeBound();
+    EXPECT_EXIT(f.machine.run(prog, {1, 1},
+                              OperatingPoint{0.0, 1.0}),
+                testing::ExitedWithCode(1), "bad operating point");
+    EXPECT_EXIT(f.machine.run(prog, {1, 1},
+                              OperatingPoint{3.0, -0.1}),
+                testing::ExitedWithCode(1), "bad operating point");
+}
+
+// ---------------------------------------------------------------
+// Sweep analysis
+
+TEST(DvfsSweep, MetricsAndPlaceholderSafety)
+{
+    Sample s;
+    s.powerWatts = 80.0;
+    s.instrGips = 10.0; // 1e10 instr/s
+    EXPECT_DOUBLE_EQ(sampleEpiJoules(s), 8e-9);
+    EXPECT_DOUBLE_EQ(sampleEdp(s), 8e-19);
+    EXPECT_DOUBLE_EQ(sampleEd2p(s), 8e-29);
+    // Placeholders (no instruction rate) yield 0, never inf.
+    Sample zero;
+    zero.powerWatts = 80.0;
+    EXPECT_EQ(sampleEpiJoules(zero), 0.0);
+    EXPECT_EQ(sampleEdp(zero), 0.0);
+}
+
+TEST(DvfsSweep, OptimaMatchExhaustiveEnumerationAndDiverge)
+{
+    Fixture f;
+    std::vector<Program> corpus = {f.computeBound(),
+                                   f.memoryBound()};
+    std::vector<double> freqs = {2.0, 2.5, 3.0, 3.5};
+    Campaign campaign(f.machine, sweepSpec(freqs));
+    auto samples =
+        campaign.measure(corpus, {ChipConfig{1, 1}});
+
+    SweepAnalysis sweep = analyzeSweep(samples);
+    ASSERT_EQ(sweep.series.size(), 2u);
+    ASSERT_EQ(sweep.freqs, freqs);
+
+    for (const auto &series : sweep.series) {
+        ASSERT_EQ(series.points.size(), freqs.size());
+        // The analysis' selection must match brute-force argmin
+        // over the raw samples (the exhaustive enumeration).
+        size_t brute_epi = 0, brute_edp = 0;
+        std::vector<const Sample *> mine;
+        for (const auto &s : samples)
+            if (s.workload == series.workload)
+                mine.push_back(&s);
+        // Samples arrive frequency-ascending per workload, like
+        // the sorted sweep points.
+        ASSERT_EQ(mine.size(), freqs.size());
+        for (size_t i = 1; i < mine.size(); ++i) {
+            if (sampleEpiJoules(*mine[i]) <
+                sampleEpiJoules(*mine[brute_epi]))
+                brute_epi = i;
+            if (sampleEdp(*mine[i]) < sampleEdp(*mine[brute_edp]))
+                brute_edp = i;
+        }
+        EXPECT_EQ(series.bestEpi, brute_epi) << series.workload;
+        EXPECT_EQ(series.bestEdp, brute_edp) << series.workload;
+    }
+
+    // The compute-bound stressmark runs cheapest per instruction
+    // at a higher clock than the memory-bound one.
+    auto best_freq = [&](const std::string &name) {
+        for (const auto &series : sweep.series)
+            if (series.workload == name)
+                return series.points[series.bestEpi].freqGhz;
+        ADD_FAILURE() << name;
+        return 0.0;
+    };
+    EXPECT_GT(best_freq("compute-bound"),
+              best_freq("Main-memory"));
+}
+
+TEST(DvfsSweep, SkipsPlaceholderSamples)
+{
+    Sample real;
+    real.workload = "w";
+    real.config = {1, 1};
+    real.freqGhz = 2.0;
+    real.instrGips = 5.0;
+    real.powerWatts = 70.0;
+    Sample placeholder = real;
+    placeholder.freqGhz = 3.0;
+    placeholder.instrGips = 0.0;
+    SweepAnalysis sweep = analyzeSweep({real, placeholder});
+    ASSERT_EQ(sweep.series.size(), 1u);
+    EXPECT_EQ(sweep.series[0].points.size(), 1u);
+    ASSERT_EQ(sweep.freqs.size(), 1u);
+    EXPECT_EQ(sweep.freqs[0], 2.0);
+}
+
+// ---------------------------------------------------------------
+// Cross-frequency model validation
+
+TEST(DvfsModels, NominalTrainedTopDownDegradesOffPoint)
+{
+    Fixture f;
+    auto corpus = f.randoms(8);
+    std::vector<ChipConfig> cfgs = {{1, 1}, {2, 1}, {4, 2},
+                                    {8, 4}};
+    Campaign campaign(f.machine, sweepSpec({2.0, 3.0, 3.5}));
+    auto samples = campaign.measure(corpus, cfgs);
+
+    CrossFreqReport report = crossFrequencyError(samples, 3.0);
+    EXPECT_EQ(report.trainFreqGhz, 3.0);
+    ASSERT_EQ(report.entries.size(), 3u);
+    for (const auto &e : report.entries)
+        EXPECT_EQ(e.count, corpus.size() * cfgs.size());
+    // At the training frequency the cross model *is* the at-point
+    // model (same training set, deterministic fit).
+    EXPECT_DOUBLE_EQ(report.entries[1].paaeCross,
+                     report.entries[1].paaeAtPoint);
+    // Away from it, per-point training wins: the 3.0-GHz model
+    // carries 3.0-GHz static power in its intercept, which is
+    // simply wrong at 2.0 GHz / 0.85 V.
+    EXPECT_GT(report.entries[0].paaeCross,
+              2.0 * report.entries[0].paaeAtPoint);
+    EXPECT_GT(report.entries[2].paaeCross,
+              report.entries[2].paaeAtPoint);
+}
+
+TEST(DvfsModels, PerPointBottomUpBeatsCrossFrequencyBottomUp)
+{
+    // The bottom-up methodology trained per operating point: the
+    // 3.0-GHz-trained model mispredicts 2.0-GHz samples worse than
+    // a 2.0-GHz-trained model does.
+    Fixture f;
+    auto corpus = f.randoms(10);
+    std::vector<ChipConfig> cfgs = {{1, 1}, {1, 2}, {2, 1},
+                                    {4, 1}, {8, 4}};
+    Campaign campaign(f.machine, sweepSpec({2.0, 3.0}));
+    auto samples = campaign.measure(corpus, cfgs);
+
+    auto train_at = [&](double freq) {
+        auto at = samplesAtFreq(samples, freq);
+        BottomUpTrainingSet t;
+        t.idleWatts = f.machine.idleWatts(
+            {1, 1}, f.machine.operatingPoint(freq));
+        for (const auto &s : at) {
+            if (s.config.cores == 1 && s.config.smt == 1) {
+                t.microSmt1.push_back(s);
+                t.randomSmt1.push_back(s);
+            } else if (s.config.cores == 1) {
+                t.microSmtOn.push_back(s);
+            }
+            t.randomAllConfigs.push_back(s);
+        }
+        return BottomUpModel::train(t);
+    };
+    BottomUpModel at30 = train_at(3.0);
+    BottomUpModel at20 = train_at(2.0);
+
+    auto paae_on = [&](const BottomUpModel &m, double freq) {
+        std::vector<double> pred, real;
+        for (const auto &s : samplesAtFreq(samples, freq)) {
+            pred.push_back(m.predict(s));
+            real.push_back(s.powerWatts);
+        }
+        return paae(pred, real);
+    };
+    double cross = paae_on(at30, 2.0);
+    double at_point = paae_on(at20, 2.0);
+    EXPECT_GT(cross, at_point);
+    EXPECT_GT(cross, 5.0); // the nominal statics are ~15% off
+    EXPECT_LT(at_point, 5.0);
+}

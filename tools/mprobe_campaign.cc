@@ -34,6 +34,15 @@ using namespace mprobe;
 namespace
 {
 
+/** "4-2" or "4-2 @2.5GHz" deployment label of a manifest entry. */
+std::string
+entryPoint(const ManifestEntry &e)
+{
+    if (e.freqGhz <= 0.0)
+        return e.config.label();
+    return cat(e.config.label(), " @", e.freqGhz, "GHz");
+}
+
 /**
  * Resume reporting: load the manifest persisted next to the cache
  * and list what an interrupted run left unfinished. The run that
@@ -72,7 +81,7 @@ reportResume(const CampaignSpec &spec, uint64_t machine_fp)
     const size_t list_cap = 20;
     for (size_t i = 0; i < rem.size() && i < list_cap; ++i)
         std::cout << "  todo: " << rem[i].workload << " @ "
-                  << rem[i].config.label() << " (" << rem[i].source
+                  << entryPoint(rem[i]) << " (" << rem[i].source
                   << ")\n";
     if (rem.size() > list_cap)
         std::cout << "  ... and " << rem.size() - list_cap
@@ -112,10 +121,139 @@ writeMetricsJson(const std::string &path, const CampaignSpec &spec,
       << "  \"jobs_per_second\": " << jobs_per_sec << ",\n"
       << "  \"cache_hits\": " << res.cacheHits << ",\n"
       << "  \"cache_misses\": " << res.cacheMisses << ",\n"
-      << "  \"cache_hit_rate\": " << hit_rate << "\n"
+      << "  \"cache_hit_rate\": " << hit_rate << ",\n";
+    // Per-job wall seconds: what --calibrate refits the
+    // JobCostModel from. Kept last so the aggregate fields above
+    // stay easy to eyeball.
+    f << "  \"job_seconds\": [";
+    for (size_t i = 0; i < res.jobs.size(); ++i) {
+        const CampaignJob &job = res.jobs[i];
+        size_t body =
+            res.workloads[job.workload].program.body.size();
+        f << (i ? "," : "") << "\n    {\"cores\": "
+          << job.config.cores << ", \"smt\": " << job.config.smt
+          << ", \"body\": " << body << ", \"seconds\": "
+          << (i < res.jobSeconds.size() ? res.jobSeconds[i] : 0.0)
+          << ", \"cached\": "
+          << ((i < res.jobCached.size() && res.jobCached[i])
+                  ? "true"
+                  : "false")
+          << "}";
+    }
+    f << "\n  ]\n"
       << "}\n";
     if (!f.flush())
         fatal(cat("short write to metrics file '", path, "'"));
+}
+
+/**
+ * Parse the job_seconds array back out of a --metrics-json file
+ * (this tool's own writer format; not a general JSON parser).
+ */
+std::vector<JobTiming>
+readMetricsTimings(const std::string &path)
+{
+    std::ifstream f(path);
+    if (!f)
+        fatal(cat("cannot read metrics file '", path, "'"));
+    std::ostringstream os;
+    os << f.rdbuf();
+    std::string text = os.str();
+
+    auto list_at = text.find("\"job_seconds\"");
+    if (list_at == std::string::npos)
+        fatal(cat("no \"job_seconds\" array in '", path,
+                  "' — re-run the campaign with --metrics-json "
+                  "using this build"));
+
+    auto field = [&](const std::string &obj, const char *name,
+                     double &value) {
+        auto at = obj.find(cat("\"", name, "\":"));
+        if (at == std::string::npos)
+            return false;
+        at = obj.find(':', at);
+        try {
+            value = std::stod(obj.substr(at + 1));
+        } catch (const std::exception &) {
+            return false;
+        }
+        return true;
+    };
+
+    std::vector<JobTiming> out;
+    size_t pos = text.find('[', list_at);
+    size_t end = text.find(']', list_at);
+    while (pos != std::string::npos && pos < end) {
+        size_t open = text.find('{', pos);
+        if (open == std::string::npos || open > end)
+            break;
+        size_t close = text.find('}', open);
+        if (close == std::string::npos)
+            break;
+        std::string obj = text.substr(open, close - open + 1);
+        JobTiming t;
+        double cores = 0, smt = 0, body = 0;
+        if (!field(obj, "cores", cores) ||
+            !field(obj, "smt", smt) ||
+            !field(obj, "body", body) ||
+            !field(obj, "seconds", t.seconds))
+            fatal(cat("malformed job_seconds entry in '", path,
+                      "': ", obj));
+        t.config.cores = static_cast<int>(cores);
+        t.config.smt = static_cast<int>(smt);
+        t.bodySize = static_cast<size_t>(body);
+        t.cached = obj.find("\"cached\": true") !=
+                   std::string::npos;
+        out.push_back(t);
+        pos = close + 1;
+    }
+    return out;
+}
+
+/**
+ * The calibration step (--calibrate): refit the JobCostModel
+ * constants from the per-job wall seconds a previous run recorded
+ * with --metrics-json. Exits the process (no measurement).
+ */
+[[noreturn]] void
+runCalibrate(const std::string &metrics_path)
+{
+    std::vector<JobTiming> timings =
+        readMetricsTimings(metrics_path);
+    CostCalibration cal = calibrateJobCostModel(timings);
+    std::cout << "calibrate: " << timings.size()
+              << " recorded jobs, " << cal.used
+              << " cold measurements used\n";
+    if (!cal.ok)
+        fatal("--calibrate: not enough signal to fit (need at "
+              "least two cold jobs of different threads x body "
+              "size and a positive slope) — run a cold campaign "
+              "with a mixed config set first");
+    JobCostModel def;
+    std::cout << "  per-job overhead:    "
+              << TextTable::num(cal.perJobSeconds * 1e6, 1)
+              << " us\n"
+              << "  per slot-thread:     "
+              << TextTable::num(cal.perSlotThreadSeconds * 1e9, 2)
+              << " ns\n"
+              << "  fit R^2:             "
+              << TextTable::num(cal.r2, 3) << "\n"
+              << "  fitted JobCostModel: perJob = "
+              << TextTable::num(cal.fitted.perJob, 1)
+              << " slot-units (shipped default "
+              << TextTable::num(def.perJob, 1) << ")\n";
+    double rel = def.perJob > 0
+                     ? cal.fitted.perJob / def.perJob
+                     : 0.0;
+    if (rel > 2.0 || (rel > 0 && rel < 0.5))
+        std::cout << "the fitted per-job overhead differs from "
+                     "the shipped default by more than 2x on "
+                     "this host; consider updating "
+                     "JobCostModel::perJob\n";
+    else
+        std::cout << "the shipped default is within 2x of this "
+                     "host's fit; no change needed\n";
+    std::exit(0);
 }
 
 /**
@@ -148,7 +286,7 @@ runMerge(const std::string &cache_dir, const std::string &csv,
         for (size_t i = 0;
              i < col.missing.size() && i < list_cap; ++i)
             std::cout << "  missing: " << col.missing[i].workload
-                      << " @ " << col.missing[i].config.label()
+                      << " @ " << entryPoint(col.missing[i])
                       << " (" << col.missing[i].source << ")\n";
         if (col.missing.size() > list_cap)
             std::cout << "  ... and "
@@ -187,6 +325,11 @@ main(int argc, char **argv)
     args.addOption("configs", "",
                    "override: comma-separated cores-smt list or "
                    "'all'");
+    args.addOption("freqs", "",
+                   "override: DVFS frequency sweep in GHz "
+                   "(comma-separated, e.g. 2.0,2.5,3.0,3.5); "
+                   "every (workload, config) pair is measured at "
+                   "every listed operating point");
     args.addOption("threads", "",
                    "override: worker threads (0 = one per "
                    "hardware thread)");
@@ -218,8 +361,13 @@ main(int argc, char **argv)
                    "export samples as JSON to this path");
     args.addOption("metrics-json", "",
                    "write run metrics (generation/measure wall "
-                   "time, jobs/sec, cache hit rate) as JSON to "
-                   "this path");
+                   "time, jobs/sec, cache hit rate, per-job wall "
+                   "seconds) as JSON to this path");
+    args.addOption("calibrate", "",
+                   "no measurement: refit the JobCostModel "
+                   "constants from the per-job wall seconds of a "
+                   "previous run's --metrics-json file and print "
+                   "them");
     args.addFlag("resume",
                  "list the jobs an interrupted campaign left "
                  "unfinished (from the cache-dir manifest), then "
@@ -238,6 +386,8 @@ main(int argc, char **argv)
     if (!args.get("configs").empty())
         spec.configs =
             parseConfigList(args.get("configs"), "--configs");
+    if (!args.get("freqs").empty())
+        spec.freqs = parseFreqList(args.get("freqs"), "--freqs");
     if (!args.get("threads").empty())
         spec.threads = static_cast<int>(args.getInt("threads"));
     if (!args.get("cache-dir").empty())
@@ -255,6 +405,14 @@ main(int argc, char **argv)
         if (spec.progressSeconds < 0)
             fatal("--progress-seconds must be >= 0 "
                   "(0 = disabled)");
+    }
+
+    if (!args.get("calibrate").empty()) {
+        if (args.getFlag("merge") || args.getFlag("resume") ||
+            args.getFlag("plan"))
+            fatal("--calibrate is a standalone step; it does not "
+                  "combine with --merge, --plan or --resume");
+        runCalibrate(args.get("calibrate"));
     }
 
     if (args.getFlag("merge")) {
