@@ -9,8 +9,11 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <filesystem>
 #include <numeric>
+#include <thread>
 
+#include "campaign/claims.hh"
 #include "campaign/manifest.hh"
 #include "campaign/queue.hh"
 #include "microprobe/bootstrap.hh"
@@ -158,6 +161,18 @@ Campaign::Campaign(const Machine &m, CampaignSpec s)
         fatal("campaign: sharded execution needs a cache "
               "directory shared by all shards (results live "
               "there; --merge assembles them)");
+    if (spec.serve && spec.sharded())
+        fatal("campaign: --serve replaces --shard (claim-based "
+              "workers partition the pool dynamically); use one "
+              "or the other");
+    if (spec.serve && !cache.enabled())
+        fatal("campaign: --serve needs a cache directory shared "
+              "by the worker fleet (claims and results live "
+              "there)");
+    if (spec.serve && spec.claimTtlSeconds <= 0.0)
+        fatal("campaign: claim TTL must be > 0 seconds");
+    if (spec.serve && spec.claimPollSeconds <= 0.0)
+        fatal("campaign: claim poll interval must be > 0 seconds");
     // A restriction set on spec.categories reaches the suite
     // generator without the caller having to mirror it into
     // suite.categories; one set directly on SuiteOptions is left
@@ -267,7 +282,7 @@ Campaign::writeManifest(
     const std::vector<CampaignWorkload> &workloads,
     const std::vector<CampaignJob> &jobs) const
 {
-    if (!cache.enabled())
+    if (!cache.enabled() && spec.manifestDir.empty())
         return;
     CampaignManifest m;
     m.spec = spec.contentSummary();
@@ -282,8 +297,15 @@ Campaign::writeManifest(
     }
     // Merge-accumulate: repeated measure() calls (the model
     // pipeline issues several) grow one manifest, and every shard
-    // of one campaign persists the identical full job list.
-    mergeSaveManifest(manifestPath(spec.cacheDir), m);
+    // of one campaign persists the identical full job list. The
+    // service points manifestDir at a per-campaign directory so
+    // many concurrent campaigns can share one cache.
+    const std::string &mdir = spec.manifestDir.empty()
+                                  ? spec.cacheDir
+                                  : spec.manifestDir;
+    std::error_code ec;
+    std::filesystem::create_directories(mdir, ec);
+    mergeSaveManifest(manifestPath(mdir), m);
 }
 
 Campaign::JobRunOutcome
@@ -399,19 +421,182 @@ Campaign::runJobs(const std::vector<CampaignWorkload> &workloads,
                 total_cost - cold_cost -
                 static_cast<double>(cached_cost_milli.load()) /
                     1000.0;
-            std::string eta;
+            // A degenerate observed rate — an all-cached or
+            // instant-job prefix has retired no cold cost yet, or
+            // the clock has not advanced — cannot support an
+            // estimate; say so instead of printing a nonsense
+            // number (a 0-cost rate would divide to inf; a
+            // negative remainder would print "-3s left").
+            std::string eta = ", warming up";
             if (cold_cost > 0.0 && elapsed > 0) {
                 double rate =
                     cold_cost /
                     (static_cast<double>(elapsed) / 1000.0);
-                eta = cat(", ~", std::lround(remaining / rate),
-                          "s left");
+                if (rate > 0.0 && std::isfinite(rate))
+                    eta = cat(", ~",
+                              std::lround(
+                                  std::max(0.0, remaining) /
+                                  rate),
+                              "s left");
             }
             inform(cat("campaign: ", k, " of ", jobs.size(),
                        " jobs done, ", cached.load(), " cached",
                        eta, shard_tag));
         }
     }, "campaign measure");
+    return out;
+}
+
+Campaign::JobRunOutcome
+Campaign::runClaimed(
+    const std::vector<CampaignWorkload> &workloads,
+    const std::vector<CampaignJob> &jobs)
+{
+    ClaimDir claimdir(spec.cacheDir, spec.workerId,
+                      spec.claimTtlSeconds);
+    std::vector<PoolJob> pool;
+    pool.reserve(jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i)
+        pool.push_back({jobs[i].key, i, jobs[i].cost});
+    ClaimedQueue queue(cache, claimdir, std::move(pool));
+
+    inform(cat("campaign: serving ", jobs.size(),
+               " pool jobs as worker ", claimdir.workerId(),
+               " (claim TTL ", spec.claimTtlSeconds, "s) on ",
+               spec.threads,
+               spec.threads == 1 ? " thread" : " threads"));
+
+    using clock = std::chrono::steady_clock;
+    const auto t0 = clock::now();
+    const int64_t every_ms =
+        spec.progressSeconds > 0
+            ? static_cast<int64_t>(spec.progressSeconds * 1000.0)
+            : 0;
+    std::atomic<size_t> ran{0};
+    std::atomic<int64_t> next_report_ms{every_ms};
+
+    JobRunOutcome out;
+    out.samples.resize(jobs.size());
+    out.seconds.assign(jobs.size(), 0.0);
+    out.cached.assign(jobs.size(), 0);
+
+    // Every worker thread loops pull -> run -> complete until the
+    // pool is drained; parallelFor's index is just a worker id.
+    // Unlike runJobs there is no per-index slot discipline — a
+    // thread may run any job — but each pulled index is handed to
+    // exactly one thread process-wide (ClaimedQueue::running) and
+    // fleet-wide (the claim file), so slot writes never race.
+    auto drain = [&](size_t) {
+        for (;;) {
+            size_t i = 0;
+            ClaimedQueue::Pull pull = queue.next(i);
+            if (pull == ClaimedQueue::Pull::Drained)
+                return;
+            if (pull == ClaimedQueue::Pull::Wait) {
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(
+                        spec.claimPollSeconds));
+                continue;
+            }
+            const CampaignJob &job = jobs[i];
+            const auto jt0 = clock::now();
+            Sample s;
+            if (cache.lookup(job.key, s)) {
+                // Rare but possible: a peer cached the job between
+                // our queue scan and the claim acquisition.
+                out.samples[i] = std::move(s);
+                out.cached[i] = 1;
+            } else {
+                const Program &prog =
+                    workloads[job.workload].program;
+                uint64_t salt = hashCombine(job.key, 0x5a17ull);
+                out.samples[i] = makeSample(
+                    prog.name,
+                    machine.run(prog, job.config,
+                                machine.operatingPoint(job.freqGhz),
+                                salt));
+                cache.store(job.key, out.samples[i]);
+            }
+            out.seconds[i] =
+                std::chrono::duration<double>(clock::now() - jt0)
+                    .count();
+            // Store first, release second: once the claim is gone
+            // the job must already be skippable via the cache.
+            queue.complete(i);
+            size_t k = ++ran;
+            if (every_ms <= 0)
+                continue;
+            int64_t elapsed =
+                std::chrono::duration_cast<
+                    std::chrono::milliseconds>(clock::now() - t0)
+                    .count();
+            int64_t deadline = next_report_ms.load();
+            if (elapsed >= deadline &&
+                next_report_ms.compare_exchange_strong(
+                    deadline, elapsed + every_ms)) {
+                inform(cat("campaign: serve: ", k,
+                           " jobs run by this worker, ",
+                           queue.completedByPeers(),
+                           " taken by peers, ", queue.pending(),
+                           " of ", jobs.size(), " pool jobs open ",
+                           "(", claimdir.stolen(), " stolen)"));
+            }
+        }
+    };
+    parallelFor(spec.threads,
+                static_cast<size_t>(spec.threads), drain,
+                "campaign serve");
+
+    // The pool is drained: every job of the campaign is in the
+    // cache. Load the peer-measured slots so this worker returns
+    // the complete sample set in job order — its export is
+    // byte-identical to an unsharded run's.
+    size_t holes = 0;
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        if (!out.samples[i].rates.empty())
+            continue;
+        if (cache.peek(jobs[i].key, out.samples[i])) {
+            out.cached[i] = 1;
+            continue;
+        }
+        // A cached result that vanished or went corrupt between
+        // drain and collection; re-measure it locally rather than
+        // exporting a hole.
+        const CampaignJob &job = jobs[i];
+        const Program &prog = workloads[job.workload].program;
+        uint64_t salt = hashCombine(job.key, 0x5a17ull);
+        out.samples[i] = makeSample(
+            prog.name,
+            machine.run(prog, job.config,
+                        machine.operatingPoint(job.freqGhz),
+                        salt));
+        cache.store(job.key, out.samples[i]);
+        ++holes;
+    }
+    if (holes > 0)
+        warn(cat("campaign: serve: ", holes,
+                 " cached results vanished before collection and "
+                 "were re-measured"));
+    inform(cat("campaign: serve: pool drained; this worker ran ",
+               ran.load(), " of ", jobs.size(), " jobs (",
+               claimdir.stolen(), " stolen from expired claims, ",
+               queue.completedByPeers(), " measured by peers)"));
+    return out;
+}
+
+CampaignExpansion
+Campaign::expand(Architecture &arch)
+{
+    CampaignExpansion out;
+    out.workloads = expandWorkloads(arch);
+    out.jobs = expandJobs(
+        out.workloads,
+        std::vector<std::vector<ChipConfig>>(out.workloads.size(),
+                                             spec.configs));
+    // The manifest is persisted before any measurement — the full
+    // job list, so interrupted/sharded/served runs can always
+    // report what is left and --merge sees every job.
+    writeManifest(out.workloads, out.jobs);
     return out;
 }
 
@@ -441,7 +626,9 @@ Campaign::run(Architecture &arch)
         res.jobs = std::move(all_jobs);
     size_t hits0 = cache.hits(), misses0 = cache.misses();
     JobRunOutcome outcome =
-        runJobs(res.workloads, res.jobs, res.totalJobs);
+        spec.serve ? runClaimed(res.workloads, res.jobs)
+                   : runJobs(res.workloads, res.jobs,
+                             res.totalJobs);
     res.samples = std::move(outcome.samples);
     res.jobSeconds = std::move(outcome.seconds);
     res.jobCached = std::move(outcome.cached);

@@ -177,6 +177,14 @@ struct CampaignPlan
     std::vector<CampaignJob> jobList;
 };
 
+/** A campaign expanded but not yet measured: what the service's
+ * ingest step produces and its shared pool consumes. */
+struct CampaignExpansion
+{
+    std::vector<CampaignWorkload> workloads;
+    std::vector<CampaignJob> jobs;
+};
+
 /** The engine: expansion, scheduling, caching, collection. */
 class Campaign
 {
@@ -203,6 +211,16 @@ class Campaign
      * export from the manifest and the cache.
      */
     CampaignResult run(Architecture &arch);
+
+    /**
+     * Generation + expansion only: produce the campaign's
+     * workloads and full job list and persist the manifest, without
+     * measuring anything. The drop-directory service ingests new
+     * campaigns through this entry and feeds the jobs into its
+     * shared claim pool; run() is exactly expand() + the
+     * measurement phase.
+     */
+    CampaignExpansion expand(Architecture &arch);
 
     /**
      * Dry run (--plan): generate the spec's workloads and expand
@@ -290,6 +308,19 @@ class Campaign
     runJobs(const std::vector<CampaignWorkload> &workloads,
             const std::vector<CampaignJob> &jobs,
             size_t campaign_total);
+
+    /**
+     * Claim-based execution (--serve): this worker's threads pull
+     * jobs from the full campaign pool through per-job claim files
+     * in the shared cache directory, stealing from dead peers once
+     * their claims pass the TTL. Returns only when every job of
+     * the campaign is in the cache — the outcome covers all @p
+     * jobs (peer-measured ones loaded from the cache), so a serve
+     * worker's export is byte-identical to an unsharded run's.
+     */
+    JobRunOutcome
+    runClaimed(const std::vector<CampaignWorkload> &workloads,
+               const std::vector<CampaignJob> &jobs);
 
     /** Persist the job manifest next to the cache (resume). */
     void

@@ -63,6 +63,8 @@ CampaignSpec::summary() const
         os << ", cache " << cacheDir;
     if (sharded())
         os << ", shard " << shardIndex << "/" << shardCount;
+    if (serve)
+        os << ", serve (claim TTL " << claimTtlSeconds << "s)";
     return os.str();
 }
 
@@ -220,6 +222,13 @@ parseCampaignSpecText(const std::string &text,
             if (spec.progressSeconds < 0)
                 fatal(cat("progress_seconds must be >= 0 "
                           "(0 = disabled) in ",
+                          context));
+        } else if (key == "serve") {
+            spec.serve = parseInt(val, context) != 0;
+        } else if (key == "claim_ttl_seconds") {
+            spec.claimTtlSeconds = parseDouble(val, context);
+            if (spec.claimTtlSeconds <= 0)
+                fatal(cat("claim_ttl_seconds must be > 0 in ",
                           context));
         } else if (key == "seed") {
             spec.suite.seed =

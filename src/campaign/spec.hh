@@ -100,6 +100,40 @@ struct CampaignSpec
      * measuring (0 disables). */
     double progressSeconds = 10.0;
     /**
+     * Claim-based service execution ("serve = 1", `--serve`): this
+     * worker pulls jobs from the campaign's shared pool through
+     * per-job claim files in the cache directory instead of
+     * measuring a statically-assigned slice. Any number of --serve
+     * workers drain one pool: each claims the next unfinished job
+     * (cost order), jobs of a dead worker are stolen once their
+     * claim outlives claimTtlSeconds, and every worker finishes
+     * with the complete sample set (all results are in the shared
+     * cache when the pool drains). Mutually exclusive with
+     * sharding; --merge semantics are unchanged.
+     */
+    bool serve = false;
+    /** Stale-claim TTL in seconds ("claim_ttl_seconds",
+     * `--claim-ttl`): a claim not heartbeaten for longer than this
+     * marks its worker dead and the job stealable. */
+    double claimTtlSeconds = 60.0;
+    /** Seconds a serve worker sleeps between pool scans while
+     * peers hold every remaining job (`--claim-poll`). */
+    double claimPollSeconds = 0.5;
+    /** Claim-file identity of this worker; empty resolves to
+     * "host:pid" (`--worker-id`, mostly for tests/logs). */
+    std::string workerId;
+    /**
+     * Directory the job manifest is written to/read from; empty
+     * (the default) keeps it next to the cache. The drop-directory
+     * service sets this per campaign: many concurrent campaigns
+     * share one cache directory (sample files are content-keyed,
+     * so they never clash) but need separate manifests (one
+     * manifest file per cache dir would thrash between
+     * fingerprints). Execution detail: never part of job keys or
+     * the campaign fingerprint.
+     */
+    std::string manifestDir;
+    /**
      * Identity of a measure()-provided corpus, mixed into the
      * campaign fingerprint (manifest identity) but never into job
      * keys. Spec-driven campaigns leave it 0 — their corpus is

@@ -14,7 +14,18 @@ namespace mprobe
 namespace
 {
 LogLevel globalLevel = LogLevel::Normal;
+thread_local int fatalThrowDepth = 0;
 } // namespace
+
+ScopedFatalThrows::ScopedFatalThrows()
+{
+    ++fatalThrowDepth;
+}
+
+ScopedFatalThrows::~ScopedFatalThrows()
+{
+    --fatalThrowDepth;
+}
 
 void
 setLogLevel(LogLevel level)
@@ -38,6 +49,8 @@ panic(const std::string &msg)
 void
 fatal(const std::string &msg)
 {
+    if (fatalThrowDepth > 0)
+        throw FatalError(msg);
     std::fprintf(stderr, "fatal: %s\n", msg.c_str());
     std::exit(1);
 }

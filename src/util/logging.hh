@@ -13,6 +13,7 @@
 
 #include <cstdlib>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 namespace mprobe
@@ -41,9 +42,36 @@ LogLevel logLevel();
 /**
  * Exit with an error message. Use when user-supplied input (a
  * definition file, a script parameter, ...) makes continuing
- * impossible.
+ * impossible. Inside a ScopedFatalThrows guard it throws
+ * FatalError instead of exiting, so long-lived callers can survive
+ * bad input they did not author.
  */
 [[noreturn]] void fatal(const std::string &msg);
+
+/** What fatal() throws while a ScopedFatalThrows guard is live. */
+struct FatalError : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * RAII guard: while alive on a thread, fatal() on that thread
+ * throws FatalError instead of exiting the process. The campaign
+ * service wraps spec parsing and expansion in this so one
+ * malformed dropped spec cannot kill a fleet serving other
+ * campaigns — one-shot CLI tools keep the exit-with-message
+ * behaviour. Thread-local and nestable; it does not affect
+ * worker threads spawned inside the guarded region (run guarded
+ * parsing/generation single-threaded).
+ */
+class ScopedFatalThrows
+{
+  public:
+    ScopedFatalThrows();
+    ~ScopedFatalThrows();
+    ScopedFatalThrows(const ScopedFatalThrows &) = delete;
+    ScopedFatalThrows &operator=(const ScopedFatalThrows &) = delete;
+};
 
 /** Print a warning; execution continues. */
 void warn(const std::string &msg);

@@ -12,15 +12,19 @@
  *                   --resume
  *   mprobe-campaign --spec train.spec --cache-dir shared \
  *                   --shard 0/2          # and 1/2 elsewhere
+ *   mprobe-campaign --spec train.spec --cache-dir shared \
+ *                   --serve              # on every fleet host
  *   mprobe-campaign --cache-dir shared --merge --csv samples.csv
  */
 
 #include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
 
 #include "campaign/campaign.hh"
+#include "campaign/claims.hh"
 #include "campaign/export.hh"
 #include "campaign/manifest.hh"
 #include "util/args.hh"
@@ -257,32 +261,66 @@ runCalibrate(const std::string &metrics_path)
 }
 
 /**
- * The merge step of a sharded campaign: read the manifest next to
- * the shared cache, verify every job key has a cached result, and
- * export the unified sample set in manifest (= job) order — byte
- * identical to the export of the same campaign run unsharded.
- * Exits the process (no measurement happens on this path).
+ * The merge step of a sharded or served campaign: read the
+ * manifest, verify every job key has a cached result, and export
+ * the unified sample set in manifest (= job) order — byte identical
+ * to the export of the same campaign run unsharded. Exits the
+ * process (no measurement happens on this path) with a distinct,
+ * scriptable code per failure mode:
+ *
+ *   0  complete; export written
+ *   3  the cache directory does not exist
+ *   4  the cache directory holds no manifest
+ *   5  manifest present but some jobs are unfinished
  */
 [[noreturn]] void
-runMerge(const std::string &cache_dir, const std::string &csv,
-         const std::string &json)
+runMerge(const std::string &cache_dir,
+         const std::string &manifest_dir, double claim_ttl,
+         const std::string &csv, const std::string &json)
 {
     if (cache_dir.empty())
         fatal("--merge needs a cache directory (--cache-dir or "
               "cache_dir in the spec): the manifest and the "
               "shard results live there");
+    // Probe existence before constructing a ResultCache: its
+    // constructor creates the directory, which would silently turn
+    // a mistyped path into "no manifest" plus an empty directory.
+    if (!std::filesystem::is_directory(cache_dir)) {
+        std::cout << "merge: cache directory '" << cache_dir
+                  << "' does not exist — check the path (workers "
+                     "create it on their first run)\n";
+        std::exit(3);
+    }
+    const std::string mdir =
+        manifest_dir.empty() ? cache_dir : manifest_dir;
     CampaignManifest m;
-    if (!loadManifest(manifestPath(cache_dir), m))
-        fatal(cat("--merge: no manifest under '", cache_dir,
-                  "' — run the campaign's shards with this cache "
-                  "directory first"));
+    if (!loadManifest(manifestPath(mdir), m)) {
+        std::cout << "merge: no manifest under '" << mdir
+                  << "' — run the campaign (shards or --serve "
+                     "workers) against this cache directory "
+                     "first\n";
+        std::exit(4);
+    }
     ResultCache cache(cache_dir);
     ManifestCollection col = collectManifestSamples(m, cache);
     if (!col.missing.empty()) {
+        // Distinguish "workers still running" from "work
+        // abandoned": a fresh claim file on a missing job means a
+        // live worker holds it right now.
+        ClaimDir claims(cache_dir, "", claim_ttl);
+        size_t claimed = 0;
+        for (const ManifestEntry &e : col.missing) {
+            ClaimInfo info;
+            if (claims.info(e.key, info) &&
+                info.ageSeconds >= 0.0 &&
+                info.ageSeconds <= claims.ttlSeconds())
+                ++claimed;
+        }
+        std::cout << "merge: manifest present but "
+                  << col.missing.size() << " of "
+                  << m.entries.size() << " jobs unfinished ("
+                  << claimed << " currently claimed)\n";
         const size_t list_cap = 20;
-        std::cout << "merge: " << col.missing.size() << " of "
-                  << m.entries.size()
-                  << " jobs have no cached result:\n";
         for (size_t i = 0;
              i < col.missing.size() && i < list_cap; ++i)
             std::cout << "  missing: " << col.missing[i].workload
@@ -292,9 +330,15 @@ runMerge(const std::string &cache_dir, const std::string &csv,
             std::cout << "  ... and "
                       << col.missing.size() - list_cap
                       << " more\n";
-        fatal("--merge: campaign incomplete — run the remaining "
-              "shards (or --resume) into this cache directory, "
-              "then merge again");
+        if (claimed > 0)
+            std::cout << "workers are still on the job — wait "
+                         "and merge again\n";
+        else
+            std::cout << "no live claims — finish the campaign "
+                         "(remaining shards, --resume, or a "
+                         "--serve worker) into this cache "
+                         "directory, then merge again\n";
+        std::exit(5);
     }
     std::cout << "merge: " << col.samples.size()
               << " samples assembled from \"" << m.spec << "\"\n";
@@ -346,10 +390,38 @@ main(int argc, char **argv)
     args.addOption("progress-seconds", "",
                    "override: seconds between progress lines "
                    "while measuring (0 disables)");
+    args.addFlag("serve",
+                 "fleet mode: pull jobs from the campaign's full "
+                 "pool through per-job claim files in the shared "
+                 "cache directory instead of a fixed --shard "
+                 "slice; any number of workers on any hosts "
+                 "cooperate, steal from dead peers after the "
+                 "claim TTL, and each returns the complete "
+                 "campaign");
+    args.addOption("claim-ttl", "",
+                   "override: seconds before a --serve claim with "
+                   "no heartbeat counts as dead and its job is "
+                   "stolen (default 60; raise it above the "
+                   "longest single-job runtime)");
+    args.addOption("claim-poll", "",
+                   "override: seconds a --serve worker sleeps "
+                   "when live peers hold every remaining job "
+                   "(default 0.5)");
+    args.addOption("worker-id", "",
+                   "override: claim-file worker identity "
+                   "(default host:pid)");
+    args.addOption("manifest-dir", "",
+                   "override: directory of the campaign manifest "
+                   "when it is kept apart from the shared cache "
+                   "(the drop-directory service writes one "
+                   "manifest per campaign; point --merge here)");
     args.addFlag("merge",
                  "no measurement: verify every manifest job has a "
                  "cached result and export the unified samples "
-                 "(the merge step after sharded runs)");
+                 "(the merge step after sharded or --serve runs); "
+                 "exits 3 when the cache dir is missing, 4 when "
+                 "it has no manifest, 5 when jobs are "
+                 "unfinished");
     args.addFlag("plan",
                  "dry run: generate and expand the campaign, print "
                  "the cost-striped per-shard schedule (job counts, "
@@ -398,6 +470,24 @@ main(int argc, char **argv)
     if (!args.get("shard").empty())
         parseShard(args.get("shard"), "--shard", spec.shardIndex,
                    spec.shardCount);
+    if (args.getFlag("serve"))
+        spec.serve = true;
+    if (!args.get("claim-ttl").empty()) {
+        spec.claimTtlSeconds =
+            parseDouble(args.get("claim-ttl"), "--claim-ttl");
+        if (spec.claimTtlSeconds <= 0)
+            fatal("--claim-ttl must be > 0 seconds");
+    }
+    if (!args.get("claim-poll").empty()) {
+        spec.claimPollSeconds =
+            parseDouble(args.get("claim-poll"), "--claim-poll");
+        if (spec.claimPollSeconds <= 0)
+            fatal("--claim-poll must be > 0 seconds");
+    }
+    if (!args.get("worker-id").empty())
+        spec.workerId = args.get("worker-id");
+    if (!args.get("manifest-dir").empty())
+        spec.manifestDir = args.get("manifest-dir");
     if (!args.get("progress-seconds").empty()) {
         spec.progressSeconds =
             parseDouble(args.get("progress-seconds"),
@@ -416,13 +506,16 @@ main(int argc, char **argv)
     }
 
     if (args.getFlag("merge")) {
-        // Check the effective spec, so a `shard =` key loaded from
-        // the spec file is rejected like the --shard flag.
+        // Check the effective spec, so a `shard =` or `serve =`
+        // key loaded from the spec file is rejected like the
+        // flags.
         if (args.getFlag("resume") || args.getFlag("plan") ||
-            spec.sharded())
+            spec.sharded() || spec.serve)
             fatal("--merge is a standalone step; it does not "
-                  "combine with --shard, --plan or --resume");
-        runMerge(spec.cacheDir, args.get("csv"),
+                  "combine with --shard, --serve, --plan or "
+                  "--resume");
+        runMerge(spec.cacheDir, spec.manifestDir,
+                 spec.claimTtlSeconds, args.get("csv"),
                  args.get("json"));
     }
 
@@ -433,9 +526,9 @@ main(int argc, char **argv)
                     arch.uarch().clockGhz());
 
     if (args.getFlag("plan")) {
-        if (args.getFlag("resume"))
+        if (args.getFlag("resume") || spec.serve)
             fatal("--plan is a dry run; it does not combine with "
-                  "--resume");
+                  "--resume or --serve");
         // A plan is shard-count-generic: normalize the spec to
         // unsharded and drop the cache directory (a dry run
         // touches no shared state, not even a mkdir), then

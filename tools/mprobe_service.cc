@@ -1,0 +1,98 @@
+/**
+ * @file
+ * mprobe-service: long-lived campaign service — watch a drop
+ * directory for campaign specs, feed their jobs through one shared
+ * claim pool + result cache, and stream per-campaign status and
+ * incremental exports.
+ *
+ *   mprobe-service --drop-dir specs --cache-dir pool \
+ *                  --results-dir out
+ *   # elsewhere, submit a campaign:
+ *   cp sweep.spec specs/
+ *   # watch out/sweep/status.json, out/sweep/partial.csv, and
+ *   # finally out/sweep/samples.csv
+ *
+ * Any number of service processes (and plain `mprobe_campaign
+ * --serve` workers) may share the cache directory; claim files
+ * coordinate them and dead peers are stolen from after the TTL.
+ */
+
+#include <iostream>
+
+#include "service/service.hh"
+#include "util/args.hh"
+#include "util/logging.hh"
+#include "util/str.hh"
+
+using namespace mprobe;
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args;
+    args.addOption("drop-dir", "",
+                   "directory watched for dropped <name>.spec "
+                   "campaign files (created if absent)");
+    args.addOption("cache-dir", "",
+                   "shared result cache + claim pool directory "
+                   "(share it across the whole fleet)");
+    args.addOption("results-dir", "",
+                   "per-campaign output root: "
+                   "<results-dir>/<name>/ receives the manifest, "
+                   "status.json, partial and final exports");
+    args.addOption("threads", "",
+                   "worker threads draining the pool (0 = one per "
+                   "hardware thread)");
+    args.addOption("poll-seconds", "",
+                   "seconds between drop-directory scans "
+                   "(default 1)");
+    args.addOption("status-seconds", "",
+                   "seconds between status/partial-export "
+                   "refreshes (default 5)");
+    args.addOption("claim-ttl", "",
+                   "seconds before a claim with no heartbeat "
+                   "counts as dead and its job is stolen "
+                   "(default 60)");
+    args.addOption("worker-id", "",
+                   "claim-file worker identity (default "
+                   "host:pid)");
+    args.addOption("arch", "POWER7", "target architecture name");
+    args.addFlag("exit-when-idle",
+                 "exit once every ingested campaign is complete "
+                 "and a scan finds no new specs (CI/batch use); "
+                 "default runs until interrupted");
+    args.addFlag("quiet", "suppress status messages");
+    args.parse(argc, argv,
+               "Serve campaign specs dropped into a directory "
+               "over a shared work-stealing fleet pool.");
+
+    if (args.getFlag("quiet"))
+        setLogLevel(LogLevel::Quiet);
+
+    ServiceOptions opts;
+    opts.dropDir = args.get("drop-dir");
+    opts.cacheDir = args.get("cache-dir");
+    opts.resultsDir = args.get("results-dir");
+    if (!args.get("threads").empty())
+        opts.threads = static_cast<int>(args.getInt("threads"));
+    if (!args.get("poll-seconds").empty())
+        opts.pollSeconds = parseDouble(args.get("poll-seconds"),
+                                       "--poll-seconds");
+    if (!args.get("status-seconds").empty())
+        opts.statusSeconds = parseDouble(
+            args.get("status-seconds"), "--status-seconds");
+    if (!args.get("claim-ttl").empty()) {
+        opts.claimTtlSeconds =
+            parseDouble(args.get("claim-ttl"), "--claim-ttl");
+        if (opts.claimTtlSeconds <= 0)
+            fatal("--claim-ttl must be > 0 seconds");
+    }
+    opts.workerId = args.get("worker-id");
+    opts.archName = args.get("arch");
+    opts.exitWhenIdle = args.getFlag("exit-when-idle");
+
+    CampaignService service(std::move(opts));
+    size_t completed = service.run();
+    std::cout << completed << " campaigns completed\n";
+    return 0;
+}
