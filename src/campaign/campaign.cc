@@ -10,6 +10,8 @@
 #include <chrono>
 #include <cmath>
 #include <filesystem>
+#include <map>
+#include <memory>
 #include <numeric>
 #include <thread>
 
@@ -350,17 +352,56 @@ Campaign::runJobs(const std::vector<CampaignWorkload> &workloads,
     std::atomic<int64_t> cold_cost_milli{0};
     std::atomic<int64_t> cached_cost_milli{0};
 
-    // Longest-job-first local execution order: with mixed configs
-    // the most expensive jobs start first, so the pool drains
-    // without a long-tail straggler holding the last worker. Only
-    // the *execution* order changes — each job still writes its own
-    // slot, so samples stay in job order and results are identical
-    // to a serial in-order run.
-    std::vector<size_t> exec_order(jobs.size());
+    // Batched execution: jobs sharing a workload and SMT mode form
+    // one group served by a decode-once Machine::Batch, whose
+    // core-simulation memo is shared across the group's core
+    // counts and frequencies (the core-level simulation depends
+    // only on the SMT mode and the effective memory latency; core
+    // count enters through counter scaling and the contention
+    // latency). Groups never span SMT modes because the memo
+    // cannot share across them. With the fast path disabled
+    // (MPROBE_NO_BATCH=1) every job forms its own group and runs
+    // the legacy engine — the batched-identity reference.
+    std::map<std::pair<size_t, int>, size_t> group_of;
+    std::vector<std::vector<size_t>> groups;
+    if (simFastPathEnabled()) {
+        for (size_t i = 0; i < jobs.size(); ++i) {
+            auto key = std::make_pair(jobs[i].workload,
+                                      jobs[i].config.smt);
+            auto it = group_of.find(key);
+            if (it == group_of.end()) {
+                group_of.emplace(key, groups.size());
+                groups.push_back({i});
+            } else {
+                groups[it->second].push_back(i);
+            }
+        }
+    } else {
+        groups.reserve(jobs.size());
+        for (size_t i = 0; i < jobs.size(); ++i)
+            groups.push_back({i});
+    }
+
+    // Longest-first draining at both levels: the costliest groups
+    // start first so the pool drains without a long-tail straggler
+    // holding the last worker, and each group retires its own
+    // costliest members first. Only the *execution* order changes
+    // — each job still writes its own slot, so samples stay in job
+    // order and results are identical to a serial in-order run.
+    std::vector<double> group_cost(groups.size(), 0.0);
+    for (size_t g = 0; g < groups.size(); ++g) {
+        for (size_t i : groups[g])
+            group_cost[g] += jobs[i].cost;
+        std::stable_sort(groups[g].begin(), groups[g].end(),
+                         [&](size_t a, size_t b) {
+                             return jobs[a].cost > jobs[b].cost;
+                         });
+    }
+    std::vector<size_t> exec_order(groups.size());
     std::iota(exec_order.begin(), exec_order.end(), 0);
     std::stable_sort(exec_order.begin(), exec_order.end(),
                      [&](size_t a, size_t b) {
-                         return jobs[a].cost > jobs[b].cost;
+                         return group_cost[a] > group_cost[b];
                      });
 
     // Each job writes only its own slot: no result synchronization,
@@ -369,79 +410,85 @@ Campaign::runJobs(const std::vector<CampaignWorkload> &workloads,
     out.samples.resize(jobs.size());
     out.seconds.assign(jobs.size(), 0.0);
     out.cached.assign(jobs.size(), 0);
-    parallelFor(spec.threads, jobs.size(), [&](size_t q) {
-        size_t i = exec_order[q];
-        const CampaignJob &job = jobs[i];
-        const auto jt0 = clock::now();
-        Sample s;
-        if (cache.lookup(job.key, s)) {
-            out.samples[i] = std::move(s);
-            out.cached[i] = 1;
-            ++cached;
-        } else {
-            const Program &prog =
-                workloads[job.workload].program;
-            // The measurement salt derives from the job's content
-            // hash, never from scheduling, so repeated sensor
-            // noise matches the serial reference run and the cache
-            // exactly.
-            uint64_t salt = hashCombine(job.key, 0x5a17ull);
-            out.samples[i] = makeSample(
-                prog.name,
-                machine.run(prog, job.config,
-                            machine.operatingPoint(job.freqGhz),
-                            salt));
-            cache.store(job.key, out.samples[i]);
-        }
-        out.seconds[i] =
-            std::chrono::duration<double>(clock::now() - jt0)
-                .count();
-        (out.cached[i] ? cached_cost_milli : cold_cost_milli)
-            .fetch_add(static_cast<int64_t>(
-                std::llround(job.cost * 1000.0)));
-        size_t k = ++done;
-        if (every_ms <= 0 || k == jobs.size())
-            return;
-        int64_t elapsed =
-            std::chrono::duration_cast<std::chrono::milliseconds>(
-                clock::now() - t0)
-                .count();
-        int64_t deadline = next_report_ms.load();
-        if (elapsed >= deadline &&
-            next_report_ms.compare_exchange_strong(
-                deadline, elapsed + every_ms)) {
-            // ETA from the cold cost actually retired so far, not
-            // from job counts: with mixed configs the heavy jobs
-            // run first, so count-based estimates would overshoot
-            // (and cache hits would make everything look free).
-            double cold_cost = static_cast<double>(
-                                   cold_cost_milli.load()) /
-                               1000.0;
-            double remaining =
-                total_cost - cold_cost -
-                static_cast<double>(cached_cost_milli.load()) /
-                    1000.0;
-            // A degenerate observed rate — an all-cached or
-            // instant-job prefix has retired no cold cost yet, or
-            // the clock has not advanced — cannot support an
-            // estimate; say so instead of printing a nonsense
-            // number (a 0-cost rate would divide to inf; a
-            // negative remainder would print "-3s left").
-            std::string eta = ", warming up";
-            if (cold_cost > 0.0 && elapsed > 0) {
-                double rate =
-                    cold_cost /
-                    (static_cast<double>(elapsed) / 1000.0);
-                if (rate > 0.0 && std::isfinite(rate))
-                    eta = cat(", ~",
-                              std::lround(
-                                  std::max(0.0, remaining) /
-                                  rate),
-                              "s left");
+    parallelFor(spec.threads, groups.size(), [&](size_t q) {
+        // One decode per group, deferred until a member misses the
+        // cache: an all-hit group never decodes or simulates.
+        std::unique_ptr<Machine::Batch> batch;
+        for (size_t i : groups[exec_order[q]]) {
+            const CampaignJob &job = jobs[i];
+            const auto jt0 = clock::now();
+            Sample s;
+            if (cache.lookup(job.key, s)) {
+                out.samples[i] = std::move(s);
+                out.cached[i] = 1;
+                ++cached;
+            } else {
+                const Program &prog =
+                    workloads[job.workload].program;
+                // The measurement salt derives from the job's content
+                // hash, never from scheduling, so repeated sensor
+                // noise matches the serial reference run and the cache
+                // exactly.
+                uint64_t salt = hashCombine(job.key, 0x5a17ull);
+                if (!batch)
+                    batch.reset(new Machine::Batch(machine, prog));
+                out.samples[i] = makeSample(
+                    prog.name,
+                    batch->run(job.config,
+                               machine.operatingPoint(job.freqGhz),
+                               salt));
+                cache.store(job.key, out.samples[i]);
             }
-            inform(cat("campaign: ", k, " of ", jobs.size(),
-                       " jobs done, ", cached.load(), " cached",
-                       eta, shard_tag));
+            out.seconds[i] =
+                std::chrono::duration<double>(clock::now() - jt0)
+                    .count();
+            (out.cached[i] ? cached_cost_milli : cold_cost_milli)
+                .fetch_add(static_cast<int64_t>(
+                    std::llround(job.cost * 1000.0)));
+            size_t k = ++done;
+            if (every_ms <= 0 || k == jobs.size())
+                continue;
+            int64_t elapsed =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    clock::now() - t0)
+                    .count();
+            int64_t deadline = next_report_ms.load();
+            if (elapsed >= deadline &&
+                next_report_ms.compare_exchange_strong(
+                    deadline, elapsed + every_ms)) {
+                // ETA from the cold cost actually retired so far, not
+                // from job counts: with mixed configs the heavy jobs
+                // run first, so count-based estimates would overshoot
+                // (and cache hits would make everything look free).
+                double cold_cost = static_cast<double>(
+                                       cold_cost_milli.load()) /
+                                   1000.0;
+                double remaining =
+                    total_cost - cold_cost -
+                    static_cast<double>(cached_cost_milli.load()) /
+                        1000.0;
+                // A degenerate observed rate — an all-cached or
+                // instant-job prefix has retired no cold cost yet, or
+                // the clock has not advanced — cannot support an
+                // estimate; say so instead of printing a nonsense
+                // number (a 0-cost rate would divide to inf; a
+                // negative remainder would print "-3s left").
+                std::string eta = ", warming up";
+                if (cold_cost > 0.0 && elapsed > 0) {
+                    double rate =
+                        cold_cost /
+                        (static_cast<double>(elapsed) / 1000.0);
+                    if (rate > 0.0 && std::isfinite(rate))
+                        eta = cat(", ~",
+                                  std::lround(
+                                      std::max(0.0, remaining) /
+                                      rate),
+                                  "s left");
+                }
+                inform(cat("campaign: ", k, " of ", jobs.size(),
+                           " jobs done, ", cached.load(), " cached",
+                           eta, shard_tag));
+            }
         }
     }, "campaign measure");
     return out;

@@ -21,6 +21,9 @@
 #ifndef SIM_CORE_HH
 #define SIM_CORE_HH
 
+#include <memory>
+
+#include "sim/arena.hh"
 #include "sim/cache.hh"
 #include "sim/counters.hh"
 #include "sim/exec_model.hh"
@@ -95,6 +98,49 @@ CoreResult simulateCoreHetero(
     const ExecModel &exec,
     const std::vector<const Program *> &thread_progs,
     const CoreSimOptions &opts = CoreSimOptions());
+
+/**
+ * Reusable per-thread scratch state of the decoded simulator: the
+ * bump arena behind all per-simulation arrays and a retained cache
+ * hierarchy that is reset (not reconstructed) between simulations
+ * sharing one geometry. One SimScratch must not be used from two
+ * threads at once; campaign workers and Machine::run keep one per
+ * thread.
+ */
+class SimScratch
+{
+  public:
+    /**
+     * The retained hierarchy for (@p geoms, @p prefetch), reset
+     * and ready for a fresh simulation. A geometry change rebuilds
+     * it; the steady state of a campaign (one machine, one
+     * geometry) never does.
+     */
+    CacheHierarchy &cache(const std::vector<CacheGeometry> &geoms,
+                          bool prefetch);
+
+    /** Arena for the per-simulation arrays. */
+    SimArena arena;
+
+  private:
+    std::unique_ptr<CacheHierarchy> hier;
+    std::vector<CacheGeometry> hierGeoms;
+    bool hierPrefetch = true;
+};
+
+/**
+ * Simulate @p threads copies of a decoded program on one core:
+ * the batched-evaluation twin of simulateCore. Bit-identical to
+ * simulateCore on the program the decode came from — same cycle
+ * walk, same counter arithmetic in the same order — while touching
+ * no ExecModel, Isa or heap state in its inner loop. @p opts must
+ * carry the same mispredict penalty and transition gate the decode
+ * baked in (checked).
+ */
+CoreResult simulateCoreDecoded(const DecodedProgram &dec,
+                               int threads,
+                               const CoreSimOptions &opts,
+                               SimScratch &scratch);
 
 } // namespace mprobe
 

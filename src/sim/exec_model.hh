@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "isa/isa.hh"
+#include "sim/program.hh"
 
 namespace mprobe
 {
@@ -90,6 +91,18 @@ class ExecModel
 
     /** Ground truth record for an opcode index. */
     const ExecInfo &info(int op) const;
+
+    /**
+     * Decode @p prog into its structure-of-arrays form for
+     * simulateCoreDecoded, baking the two CoreSimOptions knobs
+     * that enter per-instruction constants. @p out is reused (its
+     * vectors keep their capacity), so a caller decoding many
+     * programs through one DecodedProgram performs no steady-state
+     * allocation.
+     */
+    void decode(const Program &prog, int mispredict_penalty,
+                double transition_gate_nj,
+                DecodedProgram &out) const;
 
     /** Number of pipes of each unit on one core. */
     static int pipes(Unit u);

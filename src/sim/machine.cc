@@ -6,7 +6,10 @@
 #include "sim/machine.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 
 #include "util/hash.hh"
 #include "util/logging.hh"
@@ -14,6 +17,40 @@
 
 namespace mprobe
 {
+
+namespace
+{
+
+/** -1 = follow MPROBE_NO_BATCH, 0/1 = forced by setSimFastPath. */
+std::atomic<int> fastPathOverride{-1};
+
+bool
+envDisablesFastPath()
+{
+    static const bool disabled = [] {
+        const char *v = std::getenv("MPROBE_NO_BATCH");
+        return v && *v && std::strcmp(v, "0") != 0;
+    }();
+    return disabled;
+}
+
+} // namespace
+
+bool
+simFastPathEnabled()
+{
+    int forced = fastPathOverride.load(std::memory_order_relaxed);
+    if (forced >= 0)
+        return forced != 0;
+    return !envDisablesFastPath();
+}
+
+void
+setSimFastPath(bool enabled)
+{
+    fastPathOverride.store(enabled ? 1 : 0,
+                           std::memory_order_relaxed);
+}
 
 std::vector<ChipConfig>
 ChipConfig::all()
@@ -123,9 +160,9 @@ Machine::run(const Program &prog, const ChipConfig &cfg,
     return run(prog, cfg, operatingPoint(), salt);
 }
 
-RunResult
-Machine::run(const Program &prog, const ChipConfig &cfg,
-             const OperatingPoint &op, uint64_t salt) const
+void
+Machine::validateRun(const Program &prog, const ChipConfig &cfg,
+                     const OperatingPoint &op) const
 {
     if (cfg.cores < 1 || cfg.cores > 8)
         fatal(cat("bad core count ", cfg.cores));
@@ -137,36 +174,104 @@ Machine::run(const Program &prog, const ChipConfig &cfg,
     if (prog.isa != isaPtr)
         fatal(cat("program '", prog.name,
                   "' was generated for a different ISA"));
+}
 
-    // Main-memory latency is fixed in nanoseconds; its cycle count
-    // follows the core clock. Core/cache latencies are clock-domain
-    // cycles and stay put. lat_scale is exactly 1.0 at the nominal
-    // point, so the legacy path is reproduced bit for bit.
-    double lat_scale = op.freqGhz / params.clockGhz;
-
-    // First pass at the uncontended memory latency.
-    CoreSimOptions opts = simOpts;
-    opts.memLatency = std::max(
+int
+Machine::firstPassMemLatency(double lat_scale) const
+{
+    return std::max(
         1, static_cast<int>(
                std::lround(simOpts.memLatency * lat_scale)));
-    CoreResult core = simulateCore(exec, prog, cfg.smt, opts);
+}
 
+int
+Machine::contendedMemLatency(const CoreResult &core,
+                             const ChipConfig &cfg,
+                             double lat_scale) const
+{
     // Shared-memory contention: when several cores stream from
     // memory, the effective latency grows with aggregate demand.
     double mem_per_cycle =
         core.window.cycles > 0
             ? core.window.memAcc / core.window.cycles
             : 0.0;
-    if (cfg.cores > 1 && mem_per_cycle > 1e-3) {
-        double factor = 1.0 + params.memContentionK *
-                                  mem_per_cycle * (cfg.cores - 1);
-        opts.memLatency = std::max(
-            1, static_cast<int>(std::lround(
-                   ExecModel::memLatencyBase * lat_scale *
-                   factor)));
+    if (cfg.cores <= 1 || mem_per_cycle <= 1e-3)
+        return 0;
+    double factor = 1.0 + params.memContentionK * mem_per_cycle *
+                              (cfg.cores - 1);
+    return std::max(
+        1, static_cast<int>(std::lround(
+               ExecModel::memLatencyBase * lat_scale * factor)));
+}
+
+RunResult
+Machine::run(const Program &prog, const ChipConfig &cfg,
+             const OperatingPoint &op, uint64_t salt) const
+{
+    return simFastPathEnabled() ? runDecoded(prog, cfg, op, salt)
+                                : runLegacy(prog, cfg, op, salt);
+}
+
+RunResult
+Machine::runLegacy(const Program &prog, const ChipConfig &cfg,
+                   const OperatingPoint &op, uint64_t salt) const
+{
+    validateRun(prog, cfg, op);
+
+    // Main-memory latency is fixed in nanoseconds; its cycle count
+    // follows the core clock. Core/cache latencies are clock-domain
+    // cycles and stay put. lat_scale is exactly 1.0 at the nominal
+    // point, so the pre-DVFS path is reproduced bit for bit.
+    double lat_scale = op.freqGhz / params.clockGhz;
+
+    // First pass at the uncontended memory latency.
+    CoreSimOptions opts = simOpts;
+    opts.memLatency = firstPassMemLatency(lat_scale);
+    CoreResult core = simulateCore(exec, prog, cfg.smt, opts);
+
+    int contended = contendedMemLatency(core, cfg, lat_scale);
+    if (contended > 0) {
+        opts.memLatency = contended;
         core = simulateCore(exec, prog, cfg.smt, opts);
     }
+    return finishRun(prog, cfg, op, salt, core);
+}
 
+RunResult
+Machine::runDecoded(const Program &prog, const ChipConfig &cfg,
+                    const OperatingPoint &op, uint64_t salt) const
+{
+    validateRun(prog, cfg, op);
+
+    // Decoding a ~1 K-instruction body is noise next to the
+    // millions of simulated cycles it feeds, so a single run
+    // decodes fresh every time (only Batch assumes a stable
+    // program identity); the thread-local scratch still removes
+    // all steady-state allocation and cache-array construction.
+    thread_local DecodedProgram decoded;
+    thread_local SimScratch scratch;
+    exec.decode(prog, simOpts.mispredictPenalty,
+                simOpts.transitionGateNj, decoded);
+
+    double lat_scale = op.freqGhz / params.clockGhz;
+    CoreSimOptions opts = simOpts;
+    opts.memLatency = firstPassMemLatency(lat_scale);
+    CoreResult core =
+        simulateCoreDecoded(decoded, cfg.smt, opts, scratch);
+
+    int contended = contendedMemLatency(core, cfg, lat_scale);
+    if (contended > 0) {
+        opts.memLatency = contended;
+        core = simulateCoreDecoded(decoded, cfg.smt, opts, scratch);
+    }
+    return finishRun(prog, cfg, op, salt, core);
+}
+
+RunResult
+Machine::finishRun(const Program &prog, const ChipConfig &cfg,
+                   const OperatingPoint &op, uint64_t salt,
+                   const CoreResult &core) const
+{
     RunResult res;
     res.config = cfg;
     res.chip = core.window;
@@ -208,6 +313,63 @@ Machine::run(const Program &prog, const ChipConfig &cfg,
     res.gtUncoreWatts = vr * params.uncoreActiveWatts;
     res.gtIdleWatts = vr * params.idleWatts;
     return res;
+}
+
+Machine::Batch::Batch(const Machine &machine, const Program &p)
+    : m(machine), prog(p)
+{
+    // Decoded even when the fast path is currently disabled: the
+    // toggle is dynamic (tests flip it), so run() must never see a
+    // stale decode.
+    m.exec.decode(p, m.simOpts.mispredictPenalty,
+                  m.simOpts.transitionGateNj, decoded);
+}
+
+const CoreResult &
+Machine::Batch::simAt(int smt, int lat_mem)
+{
+    // A batch visits only a handful of distinct (smt, latency)
+    // pairs (three SMT modes at nominal frequency, plus one entry
+    // per distinct swept/contended latency), so a linear scan
+    // beats any map.
+    for (const MemoEntry &e : memo)
+        if (e.smt == smt && e.latMem == lat_mem)
+            return e.core;
+    CoreSimOptions opts = m.simOpts;
+    opts.memLatency = lat_mem;
+    memo.push_back(
+        {smt, lat_mem,
+         simulateCoreDecoded(decoded, smt, opts, scratch)});
+    return memo.back().core;
+}
+
+RunResult
+Machine::Batch::run(const ChipConfig &cfg, const OperatingPoint &op,
+                    uint64_t salt)
+{
+    if (!simFastPathEnabled())
+        return m.runLegacy(prog, cfg, op, salt);
+    m.validateRun(prog, cfg, op);
+
+    double lat_scale = op.freqGhz / m.params.clockGhz;
+    const CoreResult *core =
+        &simAt(cfg.smt, m.firstPassMemLatency(lat_scale));
+    int contended = m.contendedMemLatency(*core, cfg, lat_scale);
+    if (contended > 0)
+        core = &simAt(cfg.smt, contended);
+    return m.finishRun(prog, cfg, op, salt, *core);
+}
+
+std::vector<RunResult>
+Machine::runBatch(const Program &p,
+                  const std::vector<RunRequest> &points) const
+{
+    Batch batch(*this, p);
+    std::vector<RunResult> out;
+    out.reserve(points.size());
+    for (const RunRequest &pt : points)
+        out.push_back(batch.run(pt.config, pt.op, pt.salt));
+    return out;
 }
 
 uint64_t

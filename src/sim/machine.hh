@@ -79,6 +79,19 @@ struct GroundTruthParams
     /**@}*/
 };
 
+/**
+ * One point of a batched evaluation: a CMP/SMT configuration, an
+ * operating point and the per-measurement salt. Campaigns derive
+ * the salt from each job's content hash, so a batch carries it per
+ * point rather than sharing one.
+ */
+struct RunRequest
+{
+    ChipConfig config;
+    OperatingPoint op;
+    uint64_t salt = 0;
+};
+
 /** Everything one deployment/measurement produces. */
 struct RunResult
 {
@@ -169,6 +182,57 @@ class Machine
     RunResult run(const Program &prog, const ChipConfig &cfg,
                   const OperatingPoint &op, uint64_t salt = 0) const;
 
+    /**
+     * Decode-once batched evaluator: decodes one program on
+     * construction and serves run() calls for any number of
+     * CMP/SMT x operating-point requests over the decoded form,
+     * memoizing core simulations that only differ in core count
+     * (the core-level simulation depends on the SMT mode and the
+     * effective memory latency alone — core count enters through
+     * counter scaling and the contention latency). Results are
+     * bit-identical to per-job Machine::run. Not thread-safe; one
+     * Batch per worker thread. When the fast path is disabled
+     * (MPROBE_NO_BATCH / setSimFastPath) every request falls back
+     * to the legacy per-run engine.
+     */
+    class Batch
+    {
+      public:
+        Batch(const Machine &machine, const Program &prog);
+
+        /** Evaluate one request over the decoded program. */
+        RunResult run(const ChipConfig &cfg,
+                      const OperatingPoint &op, uint64_t salt = 0);
+
+        /** Distinct core simulations performed so far (tests). */
+        size_t simCount() const { return memo.size(); }
+
+      private:
+        const Machine &m;
+        const Program &prog;
+        DecodedProgram decoded;
+        SimScratch scratch;
+        struct MemoEntry
+        {
+            int smt;
+            int latMem;
+            CoreResult core;
+        };
+        std::vector<MemoEntry> memo;
+
+        const CoreResult &simAt(int smt, int lat_mem);
+    };
+
+    /**
+     * Evaluate every request of @p points against @p prog through
+     * one Batch, in order. points[i] yields exactly what
+     * run(prog, points[i].config, points[i].op, points[i].salt)
+     * yields, decode and core simulations shared across points.
+     */
+    std::vector<RunResult>
+    runBatch(const Program &prog,
+             const std::vector<RunRequest> &points) const;
+
     /** Sensor reading with no workload: workload-independent power. */
     double idleWatts(const ChipConfig &cfg, uint64_t salt = 0) const;
 
@@ -214,7 +278,44 @@ class Machine
 
     double staticCmpWatts(int cores) const;
     double sensorize(double watts, uint64_t seed) const;
+
+    /** Shared head of every run variant: argument validation. */
+    void validateRun(const Program &prog, const ChipConfig &cfg,
+                     const OperatingPoint &op) const;
+    /** First-pass (uncontended) memory latency at @p lat_scale. */
+    int firstPassMemLatency(double lat_scale) const;
+    /**
+     * Contention-adjusted memory latency for a rerun, or 0 when
+     * the first-pass result needs none.
+     */
+    int contendedMemLatency(const CoreResult &core,
+                            const ChipConfig &cfg,
+                            double lat_scale) const;
+    /** Shared tail of every run variant: power composition and
+     * sensor readout from a finished core simulation. */
+    RunResult finishRun(const Program &prog, const ChipConfig &cfg,
+                        const OperatingPoint &op, uint64_t salt,
+                        const CoreResult &core) const;
+    /** The pre-batching reference engine (simulateCore). */
+    RunResult runLegacy(const Program &prog, const ChipConfig &cfg,
+                        const OperatingPoint &op,
+                        uint64_t salt) const;
+    /** Decode-once engine for a single run (thread-local scratch). */
+    RunResult runDecoded(const Program &prog, const ChipConfig &cfg,
+                         const OperatingPoint &op,
+                         uint64_t salt) const;
 };
+
+/**
+ * True when run()/Batch use the decoded fast path (the default).
+ * The MPROBE_NO_BATCH environment variable (non-empty, not "0")
+ * forces the legacy per-run engine everywhere — CI's batched-
+ * identity smoke diffs the two paths byte for byte.
+ */
+bool simFastPathEnabled();
+
+/** Test hook: override the fast-path choice for this process. */
+void setSimFastPath(bool enabled);
 
 } // namespace mprobe
 

@@ -58,6 +58,74 @@ struct ProgInst
     float takenRate = 1.0f;
 };
 
+/**
+ * Structure-of-arrays form of a Program, decoded once per program
+ * by ExecModel::decode and consumed by simulateCoreDecoded.
+ *
+ * Everything the simulator's inner loop derives per dispatched
+ * instruction — the ExecInfo lookup, the dependency-source modulo,
+ * the InstrDef branch test, the data-activity energy product — is
+ * resolved here ahead of time, so a batched evaluation of many
+ * CMP/SMT/frequency points over one program pays the decode exactly
+ * once. The decoded form also bakes the two CoreSimOptions knobs
+ * that feed per-instruction constants (mispredict penalty and
+ * transition gate); the simulator cross-checks them so a decoded
+ * program can never silently run under drifted options.
+ */
+struct DecodedProgram
+{
+    /** Program name (panic messages, sensor seeds). */
+    std::string name;
+    /** Static loop-body length. */
+    size_t bodySize = 0;
+
+    /** @name Per body slot (all vectors bodySize long) */
+    /**@{*/
+    /** Resolved dependency source slot, -1 when independent. */
+    std::vector<int32_t> depSrc;
+    /** Memory stream id, -1 for non-memory slots. */
+    std::vector<int32_t> stream;
+    /** Lowest allowed execution unit. */
+    std::vector<int8_t> unitFirst;
+    /** Alternate allowed unit (dual-issue integers), else -1. */
+    std::vector<int8_t> unitSecond;
+    /** Pipes occupied on the chosen unit. */
+    std::vector<int8_t> pipesNeeded;
+    /** Extra fixed-point micro-ops issued alongside. */
+    std::vector<int8_t> extraFxuOps;
+    /** kMem / kStore / kVsuSteer / kCondBranch bits. */
+    std::vector<uint8_t> flags;
+    /** Base energy at or above the transition gate. */
+    std::vector<uint8_t> highEnergy;
+    /** Pipe occupancy per op in cycles. */
+    std::vector<double> issueInterval;
+    /** Result latency in cycles (memory ops override per level). */
+    std::vector<double> latency;
+    /** energyNj scaled by the slot's data-activity factor. */
+    std::vector<double> actEnergyNj;
+    /** Mispredict-debt increment of a conditional branch. */
+    std::vector<double> mispredictInc;
+    /**@}*/
+
+    /** @name Flattened memory streams */
+    /**@{*/
+    std::vector<uint64_t> streamLines;
+    std::vector<uint32_t> streamOffset;
+    std::vector<uint32_t> streamLen;
+    /**@}*/
+
+    /** @name Options baked into the per-slot constants */
+    /**@{*/
+    int mispredictPenalty = 0;
+    double transitionGateNj = 0.0;
+    /**@}*/
+
+    static constexpr uint8_t kMem = 1;
+    static constexpr uint8_t kStore = 2;
+    static constexpr uint8_t kVsuSteer = 4;
+    static constexpr uint8_t kCondBranch = 8;
+};
+
 /** A complete micro-benchmark: an endless loop plus its data. */
 struct Program
 {

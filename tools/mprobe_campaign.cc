@@ -95,10 +95,16 @@ reportResume(const CampaignSpec &spec, uint64_t machine_fp)
                      "only re-exports\n";
 }
 
-/** CI/perf-trajectory metrics of one campaign run. */
+/**
+ * CI/perf-trajectory metrics of one campaign run. Without
+ * @p include_job_seconds the bulky per-job timing array is
+ * omitted, leaving only the aggregates the perf gate compares —
+ * the form baselines are committed in (--metrics-json-stable), so
+ * CI needs no post-processing before diffing against them.
+ */
 void
 writeMetricsJson(const std::string &path, const CampaignSpec &spec,
-                 const CampaignResult &res)
+                 const CampaignResult &res, bool include_job_seconds)
 {
     size_t total = res.cacheHits + res.cacheMisses;
     double hit_rate =
@@ -125,27 +131,31 @@ writeMetricsJson(const std::string &path, const CampaignSpec &spec,
       << "  \"jobs_per_second\": " << jobs_per_sec << ",\n"
       << "  \"cache_hits\": " << res.cacheHits << ",\n"
       << "  \"cache_misses\": " << res.cacheMisses << ",\n"
-      << "  \"cache_hit_rate\": " << hit_rate << ",\n";
-    // Per-job wall seconds: what --calibrate refits the
-    // JobCostModel from. Kept last so the aggregate fields above
-    // stay easy to eyeball.
-    f << "  \"job_seconds\": [";
-    for (size_t i = 0; i < res.jobs.size(); ++i) {
-        const CampaignJob &job = res.jobs[i];
-        size_t body =
-            res.workloads[job.workload].program.body.size();
-        f << (i ? "," : "") << "\n    {\"cores\": "
-          << job.config.cores << ", \"smt\": " << job.config.smt
-          << ", \"body\": " << body << ", \"seconds\": "
-          << (i < res.jobSeconds.size() ? res.jobSeconds[i] : 0.0)
-          << ", \"cached\": "
-          << ((i < res.jobCached.size() && res.jobCached[i])
-                  ? "true"
-                  : "false")
-          << "}";
+      << "  \"cache_hit_rate\": " << hit_rate;
+    if (include_job_seconds) {
+        // Per-job wall seconds: what --calibrate refits the
+        // JobCostModel from. Kept last so the aggregate fields
+        // above stay easy to eyeball.
+        f << ",\n  \"job_seconds\": [";
+        for (size_t i = 0; i < res.jobs.size(); ++i) {
+            const CampaignJob &job = res.jobs[i];
+            size_t body =
+                res.workloads[job.workload].program.body.size();
+            f << (i ? "," : "") << "\n    {\"cores\": "
+              << job.config.cores
+              << ", \"smt\": " << job.config.smt
+              << ", \"body\": " << body << ", \"seconds\": "
+              << (i < res.jobSeconds.size() ? res.jobSeconds[i]
+                                            : 0.0)
+              << ", \"cached\": "
+              << ((i < res.jobCached.size() && res.jobCached[i])
+                      ? "true"
+                      : "false")
+              << "}";
+        }
+        f << "\n  ]";
     }
-    f << "\n  ]\n"
-      << "}\n";
+    f << "\n}\n";
     if (!f.flush())
         fatal(cat("short write to metrics file '", path, "'"));
 }
@@ -435,6 +445,11 @@ main(int argc, char **argv)
                    "write run metrics (generation/measure wall "
                    "time, jobs/sec, cache hit rate, per-job wall "
                    "seconds) as JSON to this path");
+    args.addOption("metrics-json-stable", "",
+                   "like --metrics-json but without the per-job "
+                   "job_seconds array: only the aggregate fields "
+                   "the CI perf gate compares (the format "
+                   "BENCH_baseline.json is committed in)");
     args.addOption("calibrate", "",
                    "no measurement: refit the JobCostModel "
                    "constants from the per-job wall seconds of a "
@@ -622,8 +637,14 @@ main(int argc, char **argv)
     if (!args.get("metrics-json").empty()) {
         // specRef() carries the resolved (non-auto) thread count.
         writeMetricsJson(args.get("metrics-json"),
-                         campaign.specRef(), res);
+                         campaign.specRef(), res, true);
         std::cout << "wrote " << args.get("metrics-json") << "\n";
+    }
+    if (!args.get("metrics-json-stable").empty()) {
+        writeMetricsJson(args.get("metrics-json-stable"),
+                         campaign.specRef(), res, false);
+        std::cout << "wrote " << args.get("metrics-json-stable")
+                  << "\n";
     }
     if (!args.get("csv").empty()) {
         exportSamples(args.get("csv"), res.samples,
