@@ -330,6 +330,7 @@ Campaign::runJobs(const std::vector<CampaignWorkload> &workloads,
     // next report deadline, so exactly one worker prints each
     // line). The denominator is this call's job count; under a
     // shard the campaign-wide total gives context.
+    // lint: wallclock-ok(progress/ETA and claim heartbeats only)
     using clock = std::chrono::steady_clock;
     const auto t0 = clock::now();
     const int64_t every_ms =
@@ -513,6 +514,7 @@ Campaign::runClaimed(
                spec.threads,
                spec.threads == 1 ? " thread" : " threads"));
 
+    // lint: wallclock-ok(progress/ETA and claim heartbeats only)
     using clock = std::chrono::steady_clock;
     const auto t0 = clock::now();
     const int64_t every_ms =
@@ -650,6 +652,7 @@ Campaign::expand(Architecture &arch)
 CampaignResult
 Campaign::run(Architecture &arch)
 {
+    // lint: wallclock-ok(progress/ETA and claim heartbeats only)
     using clock = std::chrono::steady_clock;
     CampaignResult res;
     auto t0 = clock::now();

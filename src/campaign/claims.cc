@@ -123,7 +123,7 @@ ClaimDir::tryAcquire(uint64_t key)
     if (stole)
         ++nStolen;
     {
-        std::lock_guard<std::mutex> lock(heldMutex);
+        MutexLock lock(heldMutex);
         held.insert(key);
     }
     return true;
@@ -135,7 +135,7 @@ ClaimDir::release(uint64_t key)
     if (!enabled())
         return;
     {
-        std::lock_guard<std::mutex> lock(heldMutex);
+        MutexLock lock(heldMutex);
         held.erase(key);
     }
     std::error_code ec;
@@ -154,7 +154,7 @@ ClaimDir::heartbeatHeld()
         return;
     std::vector<uint64_t> keys;
     {
-        std::lock_guard<std::mutex> lock(heldMutex);
+        MutexLock lock(heldMutex);
         keys.assign(held.begin(), held.end());
     }
     for (uint64_t key : keys) {
@@ -216,7 +216,7 @@ ClaimedQueue::ClaimedQueue(const ResultCache &c, ClaimDir &cl,
 void
 ClaimedQueue::push(const std::vector<PoolJob> &jobs)
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     for (const PoolJob &j : jobs)
         entries.push_back({j, false, false});
     // Descending cost, ties by ascending key for a stable pull
@@ -236,7 +236,7 @@ ClaimedQueue::next(size_t &out_index)
     // process fresh, so siblings running jobs longer than the scan
     // interval are not stolen from.
     claims.heartbeatHeld();
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     bool any_open = false;
     for (Entry &e : entries) {
         if (e.done)
@@ -268,7 +268,7 @@ ClaimedQueue::next(size_t &out_index)
 void
 ClaimedQueue::complete(size_t index)
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     for (Entry &e : entries) {
         if (e.job.index != index || !e.running)
             continue;
@@ -284,7 +284,7 @@ ClaimedQueue::complete(size_t index)
 size_t
 ClaimedQueue::pending() const
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     size_t n = 0;
     for (const Entry &e : entries)
         if (!e.done)

@@ -38,12 +38,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "campaign/cache.hh"
+#include "util/thread_annotations.hh"
 
 namespace mprobe
 {
@@ -150,9 +150,9 @@ class ClaimDir
     double ttl;
     std::atomic<size_t> nAcquired{0};
     std::atomic<size_t> nStolen{0};
+    mutable Mutex heldMutex;
     /** Keys this worker currently holds (heartbeat targets). */
-    std::set<uint64_t> held;
-    mutable std::mutex heldMutex;
+    std::set<uint64_t> held GUARDED_BY(heldMutex);
 
     /** Age in seconds of the claim file at @p path; negative when
      * the file does not exist. */
@@ -242,8 +242,9 @@ class ClaimedQueue
          * yet (never handed out twice locally). */
         bool running = false;
     };
-    std::vector<Entry> entries;
-    mutable std::mutex mutex;
+    mutable Mutex mutex;
+    /** The pool, kept in descending cost order by push(). */
+    std::vector<Entry> entries GUARDED_BY(mutex);
     std::atomic<size_t> nPeer{0};
 };
 

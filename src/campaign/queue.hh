@@ -18,11 +18,11 @@
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "util/logging.hh"
+#include "util/thread_annotations.hh"
 
 namespace mprobe
 {
@@ -95,11 +95,18 @@ parallelFor(int threads, size_t n,
     std::atomic<size_t> next{0};
     std::atomic<size_t> completed{0};
     std::atomic<size_t> thrown{0};
-    std::atomic<bool> failed{false};
-    std::exception_ptr first;
-    std::mutex first_mutex;
+    /** First-failure capture shared by all workers. */
+    struct Failure
+    {
+        /** Raised (relaxed) once any exception is captured; the
+         * stop signal workers poll between indices. */
+        std::atomic<bool> raised{false};
+        Mutex mutex;
+        /** The first exception captured, rethrown after join. */
+        std::exception_ptr first GUARDED_BY(mutex);
+    } failure;
     auto worker = [&]() {
-        while (!failed.load(std::memory_order_relaxed)) {
+        while (!failure.raised.load(std::memory_order_relaxed)) {
             size_t i = next.fetch_add(1);
             if (i >= n)
                 return;
@@ -108,10 +115,10 @@ parallelFor(int threads, size_t n,
                 completed.fetch_add(1);
             } catch (...) {
                 thrown.fetch_add(1);
-                std::lock_guard<std::mutex> lock(first_mutex);
-                if (!first)
-                    first = std::current_exception();
-                failed.store(true);
+                MutexLock lock(failure.mutex);
+                if (!failure.first)
+                    failure.first = std::current_exception();
+                failure.raised.store(true);
             }
         }
     };
@@ -121,6 +128,13 @@ parallelFor(int threads, size_t n,
         pool.emplace_back(worker);
     for (auto &th : pool)
         th.join();
+    std::exception_ptr first;
+    {
+        // All workers joined; the lock is uncontended and keeps
+        // the guarded read visible to the thread-safety analysis.
+        MutexLock lock(failure.mutex);
+        first = failure.first;
+    }
     if (first) {
         if (what) {
             // Abandoned = never ran at all: indices that ran and

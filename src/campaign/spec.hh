@@ -74,9 +74,9 @@ struct CampaignSpec
     /**@{*/
     /** Worker threads measuring jobs: 0 = one per hardware thread
      * (resolved when the engine starts), 1 = serial reference. */
-    int threads = 0;
+    int threads = 0; // lint: fingerprint-exempt(execution detail)
     /** On-disk result cache directory; empty disables caching. */
-    std::string cacheDir;
+    std::string cacheDir; // lint: fingerprint-exempt(cache location, not content)
     /** Extra salt mixed into each job's measurement seed. */
     uint64_t salt = 0;
     /** Bootstrap the architecture before generation (IPC-targeted
@@ -94,11 +94,11 @@ struct CampaignSpec
      * whole campaign. Execution detail: never part of job keys or
      * the campaign fingerprint.
      */
-    int shardIndex = 0;
-    int shardCount = 1;
+    int shardIndex = 0;  // lint: fingerprint-exempt(slice selection only)
+    int shardCount = 1;  // lint: fingerprint-exempt(slice selection only)
     /** Seconds between "k of n jobs done" progress lines while
      * measuring (0 disables). */
-    double progressSeconds = 10.0;
+    double progressSeconds = 10.0; // lint: fingerprint-exempt(reporting cadence)
     /**
      * Claim-based service execution ("serve = 1", `--serve`): this
      * worker pulls jobs from the campaign's shared pool through
@@ -111,17 +111,17 @@ struct CampaignSpec
      * cache when the pool drains). Mutually exclusive with
      * sharding; --merge semantics are unchanged.
      */
-    bool serve = false;
+    bool serve = false; // lint: fingerprint-exempt(execution mode, same job set)
     /** Stale-claim TTL in seconds ("claim_ttl_seconds",
      * `--claim-ttl`): a claim not heartbeaten for longer than this
      * marks its worker dead and the job stealable. */
-    double claimTtlSeconds = 60.0;
+    double claimTtlSeconds = 60.0; // lint: fingerprint-exempt(liveness tuning)
     /** Seconds a serve worker sleeps between pool scans while
      * peers hold every remaining job (`--claim-poll`). */
-    double claimPollSeconds = 0.5;
+    double claimPollSeconds = 0.5; // lint: fingerprint-exempt(liveness tuning)
     /** Claim-file identity of this worker; empty resolves to
      * "host:pid" (`--worker-id`, mostly for tests/logs). */
-    std::string workerId;
+    std::string workerId; // lint: fingerprint-exempt(worker identity, not results)
     /**
      * Directory the job manifest is written to/read from; empty
      * (the default) keeps it next to the cache. The drop-directory
@@ -132,7 +132,7 @@ struct CampaignSpec
      * fingerprints). Execution detail: never part of job keys or
      * the campaign fingerprint.
      */
-    std::string manifestDir;
+    std::string manifestDir; // lint: fingerprint-exempt(manifest location, not content)
     /**
      * Identity of a measure()-provided corpus, mixed into the
      * campaign fingerprint (manifest identity) but never into job

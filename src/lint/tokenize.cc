@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Linter tokenizer implementation.
+ */
+
+#include "lint/tokenize.hh"
+
+#include <cctype>
+
+#include "util/str.hh"
+
+namespace mprobe
+{
+
+namespace
+{
+
+inline bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+inline bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/**
+ * Parse `lint: <tag>(<reason>)` occurrences out of one comment's
+ * text and append them to @p out. Tolerates leading comment
+ * furniture (`//`, `*`); a tag without a parenthesized reason is
+ * ignored — the reason is what makes an exemption reviewable.
+ */
+void
+parseAnnotations(const std::string &comment, int line,
+                 std::vector<LintAnnotation> &out)
+{
+    const std::string marker = "lint:";
+    size_t pos = 0;
+    while ((pos = comment.find(marker, pos)) != std::string::npos) {
+        size_t p = pos + marker.size();
+        while (p < comment.size() &&
+               std::isspace(static_cast<unsigned char>(comment[p])))
+            ++p;
+        size_t tag_begin = p;
+        while (p < comment.size() &&
+               (identChar(comment[p]) || comment[p] == '-'))
+            ++p;
+        std::string tag =
+            comment.substr(tag_begin, p - tag_begin);
+        if (tag.empty() || p >= comment.size() ||
+            comment[p] != '(') {
+            pos = p;
+            continue;
+        }
+        size_t close = comment.find(')', p + 1);
+        if (close == std::string::npos) {
+            pos = p;
+            continue;
+        }
+        std::string reason =
+            trim(comment.substr(p + 1, close - p - 1));
+        if (!reason.empty())
+            out.push_back({tag, reason, line});
+        pos = close + 1;
+    }
+}
+
+} // namespace
+
+bool
+LintSource::exempt(const std::string &tag, int line) const
+{
+    for (const LintAnnotation &a : annotations)
+        if (a.tag == tag && (a.line == line || a.line == line - 1))
+            return true;
+    return false;
+}
+
+LintSource
+lintTokenize(const std::string &text)
+{
+    LintSource out;
+    const size_t n = text.size();
+    size_t i = 0;
+    int line = 1;
+
+    auto advance = [&](size_t count) {
+        for (size_t k = 0; k < count && i < n; ++k, ++i)
+            if (text[i] == '\n')
+                ++line;
+    };
+
+    while (i < n) {
+        char c = text[i];
+        if (c == '\n' || std::isspace(static_cast<unsigned char>(c))) {
+            advance(1);
+            continue;
+        }
+        // Line comment (annotations live here).
+        if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+            size_t end = text.find('\n', i);
+            if (end == std::string::npos)
+                end = n;
+            parseAnnotations(text.substr(i, end - i), line,
+                             out.annotations);
+            advance(end - i);
+            continue;
+        }
+        // Block comment.
+        if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+            int start_line = line;
+            size_t end = text.find("*/", i + 2);
+            if (end == std::string::npos)
+                end = n;
+            else
+                end += 2;
+            parseAnnotations(text.substr(i, end - i), start_line,
+                             out.annotations);
+            advance(end - i);
+            continue;
+        }
+        // Raw string literal: R"delim( ... )delim".
+        if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
+            size_t p = i + 2;
+            std::string delim;
+            while (p < n && text[p] != '(')
+                delim += text[p++];
+            std::string closer = ")" + delim + "\"";
+            size_t end = text.find(closer, p);
+            end = end == std::string::npos ? n
+                                           : end + closer.size();
+            out.tokens.push_back(
+                {LintToken::Kind::String, "", line});
+            advance(end - i);
+            continue;
+        }
+        // String / character literal (escape-aware).
+        if (c == '"' || c == '\'') {
+            int start_line = line;
+            size_t p = i + 1;
+            while (p < n && text[p] != c) {
+                if (text[p] == '\\' && p + 1 < n)
+                    ++p;
+                ++p;
+            }
+            if (p < n)
+                ++p; // closing quote
+            out.tokens.push_back({c == '"' ? LintToken::Kind::String
+                                           : LintToken::Kind::Char,
+                                  "", start_line});
+            advance(p - i);
+            continue;
+        }
+        // Identifier / keyword.
+        if (identStart(c)) {
+            size_t p = i + 1;
+            while (p < n && identChar(text[p]))
+                ++p;
+            out.tokens.push_back({LintToken::Kind::Identifier,
+                                  text.substr(i, p - i), line});
+            advance(p - i);
+            continue;
+        }
+        // Numeric literal (incl. hex/floats; exact value is
+        // irrelevant to every rule, so a permissive scan is fine).
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            size_t p = i + 1;
+            while (p < n &&
+                   (identChar(text[p]) || text[p] == '.' ||
+                    ((text[p] == '+' || text[p] == '-') &&
+                     (text[p - 1] == 'e' || text[p - 1] == 'E' ||
+                      text[p - 1] == 'p' || text[p - 1] == 'P'))))
+                ++p;
+            out.tokens.push_back(
+                {LintToken::Kind::Number, "", line});
+            advance(p - i);
+            continue;
+        }
+        // Everything else: single punctuation characters. Rules
+        // match "::" and "->" as two consecutive tokens.
+        out.tokens.push_back(
+            {LintToken::Kind::Punct, std::string(1, c), line});
+        advance(1);
+    }
+    return out;
+}
+
+} // namespace mprobe

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Minimal C++ tokenizer for the project linter.
+ *
+ * mprobe_lint enforces invariants the compiler cannot see (no
+ * nondeterminism sources in result-feeding code, no unordered
+ * iteration in byte-identity code, arena discipline in the
+ * simulator hot path, fingerprint coverage). Those rules only need
+ * to see identifiers and punctuation with line numbers — not types,
+ * not scopes — so this tokenizer is deliberately tiny: it strips
+ * comments and string/character literals (a forbidden name inside a
+ * log message must never trip a rule), tracks line numbers, and
+ * surfaces `// lint: <tag>(<reason>)` annotations so code can
+ * declare reviewed exemptions in place.
+ *
+ * No libclang dependency on purpose: the linter builds with the
+ * project, runs in milliseconds over the whole tree, and gates
+ * every PR from the same job that runs clang-format.
+ */
+
+#ifndef LINT_TOKENIZE_HH
+#define LINT_TOKENIZE_HH
+
+#include <string>
+#include <vector>
+
+namespace mprobe
+{
+
+/** One lexical token of a linted source file. */
+struct LintToken
+{
+    enum class Kind
+    {
+        Identifier, //!< identifier or keyword
+        Number,     //!< numeric literal (value not parsed)
+        String,     //!< string literal (content stripped)
+        Char,       //!< character literal (content stripped)
+        Punct,      //!< one operator/punctuation character
+    };
+
+    Kind kind = Kind::Punct;
+    /** Identifier/punctuation spelling; empty for literals. */
+    std::string text;
+    /** 1-based source line the token starts on. */
+    int line = 0;
+};
+
+/**
+ * An in-source lint exemption: `// lint: <tag>(<reason>)` (the
+ * reason is mandatory — an exemption nobody can justify is a
+ * finding, not an exemption). Rules honour an annotation on the
+ * offending line or on the line directly above it, so both styles
+ * work:
+ *
+ *     using clock = std::chrono::steady_clock; // lint: wallclock-ok(ETA only)
+ *
+ *     // lint: fingerprint-exempt(execution detail, results invariant)
+ *     int threads = 0;
+ */
+struct LintAnnotation
+{
+    std::string tag;
+    std::string reason;
+    /** 1-based line the annotation's comment starts on. */
+    int line = 0;
+};
+
+/** A tokenized source file. */
+struct LintSource
+{
+    std::vector<LintToken> tokens;
+    std::vector<LintAnnotation> annotations;
+
+    /** True when an annotation with @p tag covers @p line (i.e.
+     * sits on that line or the one above it). */
+    bool exempt(const std::string &tag, int line) const;
+};
+
+/**
+ * Tokenize C++ source text. Handles //- and block comments, string
+ * and character literals with escapes, and raw string literals;
+ * preprocessor directives are tokenized like ordinary code (an
+ * `#include <unordered_map>` is visible to rules as the identifier
+ * `unordered_map`).
+ */
+LintSource lintTokenize(const std::string &text);
+
+} // namespace mprobe
+
+#endif // LINT_TOKENIZE_HH

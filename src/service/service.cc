@@ -110,7 +110,7 @@ CampaignService::ingestSpec(const std::string &path)
         std::vector<PoolJob> pjobs;
         pjobs.reserve(c->jobs.size());
         {
-            std::lock_guard<std::mutex> lock(mutex);
+            MutexLock lock(mutex);
             for (size_t j = 0; j < c->jobs.size(); ++j) {
                 pjobs.push_back({c->jobs[j].key, pool.size(),
                                  c->jobs[j].cost});
@@ -184,7 +184,7 @@ CampaignService::writeStatusJson(const ActiveCampaign &c,
 void
 CampaignService::updateStatus()
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     for (auto &cp : campaigns) {
         ActiveCampaign &c = *cp;
         if (c.complete)
@@ -285,7 +285,7 @@ CampaignService::drainLoop()
         }
         PoolRef ref;
         {
-            std::lock_guard<std::mutex> lock(mutex);
+            MutexLock lock(mutex);
             ref = pool[gi];
         }
         ActiveCampaign &c = *ref.campaign;
@@ -304,7 +304,7 @@ CampaignService::drainLoop()
         }
         queue.complete(gi);
         {
-            std::lock_guard<std::mutex> lock(mutex);
+            MutexLock lock(mutex);
             if (!c.done[ref.job]) {
                 c.done[ref.job] = 1;
                 ++c.doneCount;
@@ -316,7 +316,7 @@ CampaignService::drainLoop()
 std::vector<ServiceCampaignStatus>
 CampaignService::statuses() const
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     std::vector<ServiceCampaignStatus> out;
     out.reserve(campaigns.size());
     for (const auto &cp : campaigns)
@@ -345,7 +345,7 @@ CampaignService::run()
         updateStatus();
         bool idle;
         {
-            std::lock_guard<std::mutex> lock(mutex);
+            MutexLock lock(mutex);
             idle = std::all_of(campaigns.begin(), campaigns.end(),
                                [](const auto &c) {
                                    return c->complete;
@@ -365,7 +365,7 @@ CampaignService::run()
     // land in status.json / samples.csv.
     updateStatus();
 
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     size_t completed = 0;
     for (const auto &c : campaigns)
         if (c->complete)

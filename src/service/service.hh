@@ -38,7 +38,6 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
@@ -46,6 +45,7 @@
 
 #include "campaign/campaign.hh"
 #include "campaign/claims.hh"
+#include "util/thread_annotations.hh"
 
 namespace mprobe
 {
@@ -150,10 +150,17 @@ class CampaignService
     ResultCache cache;
     ClaimDir claims;
     ClaimedQueue queue;
-    std::vector<std::unique_ptr<ActiveCampaign>> campaigns;
-    std::vector<PoolRef> pool;
+    /** Guards campaigns and pool: the watcher thread appends
+     * while workers resolve pool indices and the status writer
+     * reads progress. ActiveCampaign fields count as guarded too —
+     * every access path goes through these containers. */
+    mutable Mutex mutex;
+    std::vector<std::unique_ptr<ActiveCampaign>> campaigns
+        GUARDED_BY(mutex);
+    std::vector<PoolRef> pool GUARDED_BY(mutex);
+    /** Touched only by the run() watcher thread (ingestScan);
+     * needs no lock. */
     std::set<std::string> ingestedFiles;
-    mutable std::mutex mutex;
     std::atomic<bool> stopRequested{false};
     std::vector<std::thread> workers;
 
@@ -170,9 +177,9 @@ class CampaignService
     void drainLoop();
     /** Directory of one campaign's outputs. */
     std::string campaignDir(const std::string &name) const;
-    /** Write one campaign's status.json (caller holds the lock). */
+    /** Write one campaign's status.json. */
     void writeStatusJson(const ActiveCampaign &c,
-                         size_t claimed) const;
+                         size_t claimed) const REQUIRES(mutex);
 };
 
 } // namespace mprobe

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Clang thread-safety analysis support.
+ *
+ * The concurrency in this codebase is deliberately small — a work
+ * queue, a claim directory, a drop-directory service — but every
+ * piece of it guards state that feeds bit-identical results, so a
+ * forgotten lock is a silent correctness bug, not just a crash.
+ * These macros let the lock protocol live in the type system:
+ * `GUARDED_BY(mutex)` on the data, `REQUIRES(mutex)` on helpers
+ * that assume the lock, and clang's `-Wthread-safety` turns any
+ * violation into a compile error on the CI clang leg. On other
+ * compilers everything expands to nothing.
+ *
+ * libstdc++'s std::mutex carries no annotations, so analyzable code
+ * must lock through the annotated wrappers below (`Mutex` +
+ * `MutexLock`) — a `std::lock_guard<std::mutex>` is invisible to
+ * the analysis and would flag every guarded access as unlocked.
+ *
+ * Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+ */
+
+#ifndef UTIL_THREAD_ANNOTATIONS_HH
+#define UTIL_THREAD_ANNOTATIONS_HH
+
+#include <mutex>
+
+#if defined(__clang__)
+#define MPROBE_THREAD_ATTR(x) __attribute__((x))
+#else
+#define MPROBE_THREAD_ATTR(x)
+#endif
+
+/** Marks a type as a lockable capability. */
+#define CAPABILITY(x) MPROBE_THREAD_ATTR(capability(x))
+
+/** Marks an RAII type whose lifetime holds a capability. */
+#define SCOPED_CAPABILITY MPROBE_THREAD_ATTR(scoped_lockable)
+
+/** Data member readable/writable only while holding @p x. */
+#define GUARDED_BY(x) MPROBE_THREAD_ATTR(guarded_by(x))
+
+/** Pointer member whose pointee is guarded by @p x. */
+#define PT_GUARDED_BY(x) MPROBE_THREAD_ATTR(pt_guarded_by(x))
+
+/** Function that must be called with the capability held. */
+#define REQUIRES(...) \
+    MPROBE_THREAD_ATTR(requires_capability(__VA_ARGS__))
+
+/** Function that must be called with the capability NOT held. */
+#define EXCLUDES(...) \
+    MPROBE_THREAD_ATTR(locks_excluded(__VA_ARGS__))
+
+/** Function that acquires the capability. */
+#define ACQUIRE(...) \
+    MPROBE_THREAD_ATTR(acquire_capability(__VA_ARGS__))
+
+/** Function that releases the capability. */
+#define RELEASE(...) \
+    MPROBE_THREAD_ATTR(release_capability(__VA_ARGS__))
+
+/** Function that acquires the capability when returning @p b. */
+#define TRY_ACQUIRE(b, ...) \
+    MPROBE_THREAD_ATTR(try_acquire_capability(b, __VA_ARGS__))
+
+/** Escape hatch: function checked by reviewers, not the analysis. */
+#define NO_THREAD_SAFETY_ANALYSIS \
+    MPROBE_THREAD_ATTR(no_thread_safety_analysis)
+
+namespace mprobe
+{
+
+/**
+ * std::mutex with thread-safety annotations. Same cost, same
+ * semantics; exists only so `GUARDED_BY(mutex)` members are
+ * actually analyzable (see file comment).
+ */
+class CAPABILITY("mutex") Mutex
+{
+  public:
+    void lock() ACQUIRE() { m.lock(); }
+    void unlock() RELEASE() { m.unlock(); }
+    bool try_lock() TRY_ACQUIRE(true) { return m.try_lock(); }
+
+  private:
+    std::mutex m;
+};
+
+/** std::lock_guard for Mutex, visible to the analysis. */
+class SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mutex) ACQUIRE(mutex) : mu(mutex)
+    {
+        mu.lock();
+    }
+    ~MutexLock() RELEASE() { mu.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex &mu;
+};
+
+} // namespace mprobe
+
+#endif // UTIL_THREAD_ANNOTATIONS_HH

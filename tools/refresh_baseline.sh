@@ -21,6 +21,15 @@ out="$repo/BENCH_baseline.json"
          "-DCMAKE_BUILD_TYPE=Release && cmake --build build)" >&2
     exit 1
 }
+# A sanitized build must never become the baseline: its timings
+# are 5-20x off, and a slow baseline blinds the ratchet (every
+# later regression would still beat it).
+grep -q 'MPROBE_SANITIZE:[^=]*=OFF' "$repo/build/CMakeCache.txt" || {
+    echo "error: build/ is a sanitized configuration" \
+         "(MPROBE_SANITIZE != OFF); rebuild plain Release before" \
+         "refreshing the baseline" >&2
+    exit 1
+}
 
 work=$(mktemp -d)
 trap 'rm -rf "$work"' EXIT
