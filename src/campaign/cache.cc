@@ -31,6 +31,10 @@ sampleToText(const Sample &s)
        // and parses as corrupt, so a swept entry can never tear
        // into a "valid" nominal-frequency hit.
        << "freq " << s.freqGhz << "\n"
+       // vdd and reliable sit before the required tail for the same
+       // tear-safety reason as freq.
+       << "vdd " << s.vddVolts << "\n"
+       << "reliable " << (s.reliable ? 1 : 0) << "\n"
        << "rates";
     for (double r : s.rates)
         os << " " << r;
@@ -52,6 +56,11 @@ sampleFromText(const std::string &text, Sample &out)
     // at the nominal clock, so they load as that default instead of
     // missing — upgrading a cache directory re-runs nothing.
     out.freqGhz = kNominalFreqGhz;
+    // Pre-undervolting entries carry no vdd field: they were
+    // measured on-curve, so after the parse loop (once freq is
+    // known) the voltage is reconstructed from the default curve.
+    bool saw_vdd = false;
+    out.reliable = true;
     while (std::getline(in, line)) {
         std::string s = trim(line);
         if (s.empty())
@@ -96,6 +105,22 @@ sampleFromText(const std::string &text, Sample &out)
                 // such an entry is corrupt, not a 0-GHz hit.
                 if (out.freqGhz <= 0.0)
                     return false;
+            } else if (key == "vdd") {
+                out.vddVolts = std::stod(val);
+                // No measurement happens at a non-positive supply
+                // voltage: such an entry is corrupt.
+                if (out.vddVolts <= 0.0)
+                    return false;
+                saw_vdd = true;
+            } else if (key == "reliable") {
+                // Exactly "0" or "1"; anything else is a torn or
+                // foreign line, not a boolean to coerce.
+                if (val == "1")
+                    out.reliable = true;
+                else if (val == "0")
+                    out.reliable = false;
+                else
+                    return false;
             } else {
                 return false;
             }
@@ -103,6 +128,8 @@ sampleFromText(const std::string &text, Sample &out)
             return false;
         }
     }
+    if (!saw_vdd)
+        out.vddVolts = nominalCurveVoltage(out.freqGhz);
     // Every field is required: a file truncated mid-write must
     // parse as corrupt (-> cache miss), not as a zero-filled hit.
     return saw_workload && saw_config && saw_power && saw_gips &&

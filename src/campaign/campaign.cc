@@ -31,7 +31,7 @@ namespace mprobe
 uint64_t
 campaignJobKey(const Program &prog, const ChipConfig &cfg,
                uint64_t machine_fingerprint, uint64_t salt,
-               double freq_ghz)
+               double freq_ghz, double vdd_volts)
 {
     Hasher h;
     h.add(kCacheSchemaVersion);
@@ -41,6 +41,14 @@ campaignJobKey(const Program &prog, const ChipConfig &cfg,
     // like a pre-DVFS job, so old cache entries keep hitting.
     if (freq_ghz > 0.0)
         h.add(freq_ghz);
+    // An on-curve voltage (vdd_volts == 0) hashes exactly like a
+    // pre-undervolting job. The tag domain-separates the axes:
+    // without it, (freq X, on-curve) and (nominal, vdd X) would
+    // collide.
+    if (vdd_volts > 0.0) {
+        h.add(static_cast<uint64_t>(0x7dd0));
+        h.add(vdd_volts);
+    }
     // The sensor-noise seed hashes the program name, so the name is
     // result-relevant and must be part of the key.
     h.add(prog.name);
@@ -75,6 +83,14 @@ campaignFingerprint(const CampaignSpec &spec,
         h.add(spec.freqs.size());
         for (double f : spec.freqs)
             h.add(f);
+    }
+    // Same for the voltage axis, tagged so a vdds-only spec cannot
+    // collide with a freqs-only one.
+    if (!spec.vdds.empty()) {
+        h.add(static_cast<uint64_t>(0x7dd5));
+        h.add(spec.vdds.size());
+        for (double v : spec.vdds)
+            h.add(v);
     }
     h.add(spec.suiteEnabled).add(spec.specProxies);
     h.add(spec.daxpy).add(spec.extremes);
@@ -122,6 +138,18 @@ jobCosts(const std::vector<CampaignJob> &jobs)
     for (const auto &job : jobs)
         costs.push_back(job.cost);
     return costs;
+}
+
+/** The operating point a job measures at: the machine's curve
+ * point at the job's frequency, with the voltage overridden when
+ * the job sweeps an off-curve vdd. */
+OperatingPoint
+jobPoint(const Machine &machine, const CampaignJob &job)
+{
+    OperatingPoint op = machine.operatingPoint(job.freqGhz);
+    if (job.vdd > 0.0)
+        op.voltage = job.vdd;
+    return op;
 }
 
 /** The jobs at @p indices, in index order. */
@@ -260,6 +288,15 @@ Campaign::expandJobs(
         for (double f : spec.freqs)
             freq_axis.push_back(f == machine.clockGhz() ? 0.0 : f);
     }
+    // The voltage axis cross-products with the frequency axis. A
+    // swept voltage equal to the curve's voltage at the job's
+    // effective frequency collapses to the on-curve vdd-free key
+    // (0) so it shares pre-undervolting cache entries.
+    std::vector<double> vdd_axis;
+    if (spec.vdds.empty())
+        vdd_axis.push_back(0.0);
+    else
+        vdd_axis = spec.vdds;
     std::vector<CampaignJob> jobs;
     for (size_t w = 0; w < workloads.size(); ++w) {
         if (configs_per[w].empty())
@@ -268,13 +305,24 @@ Campaign::expandJobs(
                       "' has no configurations to deploy on"));
         for (const auto &cfg : configs_per[w])
             for (double f : freq_axis)
-                jobs.push_back(
-                    {w, cfg,
-                     campaignJobKey(workloads[w].program, cfg,
-                                    machineFp, spec.salt, f),
-                     costModel.estimate(
-                         cfg, workloads[w].program.body.size()),
-                     f});
+                for (double v : vdd_axis) {
+                    double f_eff =
+                        f > 0.0 ? f : machine.clockGhz();
+                    double v_eff =
+                        v > 0.0 &&
+                                v != machine.voltageAt(f_eff)
+                            ? v
+                            : 0.0;
+                    jobs.push_back(
+                        {w, cfg,
+                         campaignJobKey(workloads[w].program, cfg,
+                                        machineFp, spec.salt, f,
+                                        v_eff),
+                         costModel.estimate(
+                             cfg,
+                             workloads[w].program.body.size()),
+                         f, v_eff});
+                }
     }
     return jobs;
 }
@@ -295,7 +343,7 @@ Campaign::writeManifest(
         m.entries.push_back(
             {job.key, job.config,
              w.source.empty() ? "adhoc" : w.source,
-             w.program.name, job.freqGhz});
+             w.program.name, job.freqGhz, job.vdd});
     }
     // Merge-accumulate: repeated measure() calls (the model
     // pipeline issues several) grow one manifest, and every shard
@@ -436,8 +484,7 @@ Campaign::runJobs(const std::vector<CampaignWorkload> &workloads,
                 out.samples[i] = makeSample(
                     prog.name,
                     batch->run(job.config,
-                               machine.operatingPoint(job.freqGhz),
-                               salt));
+                               jobPoint(machine, job), salt));
                 cache.store(job.key, out.samples[i]);
             }
             out.seconds[i] =
@@ -562,8 +609,7 @@ Campaign::runClaimed(
                 out.samples[i] = makeSample(
                     prog.name,
                     machine.run(prog, job.config,
-                                machine.operatingPoint(job.freqGhz),
-                                salt));
+                                jobPoint(machine, job), salt));
                 cache.store(job.key, out.samples[i]);
             }
             out.seconds[i] =
@@ -617,8 +663,7 @@ Campaign::runClaimed(
         out.samples[i] = makeSample(
             prog.name,
             machine.run(prog, job.config,
-                        machine.operatingPoint(job.freqGhz),
-                        salt));
+                        jobPoint(machine, job), salt));
         cache.store(job.key, out.samples[i]);
         ++holes;
     }
@@ -807,6 +852,9 @@ Campaign::measure(
         s.config = jobs[i].config;
         s.freqGhz = jobs[i].freqGhz > 0.0 ? jobs[i].freqGhz
                                           : machine.clockGhz();
+        s.vddVolts = jobs[i].vdd > 0.0
+                         ? jobs[i].vdd
+                         : machine.voltageAt(s.freqGhz);
         s.rates.assign(dynamicFeatureNames().size(), 0.0);
         ++holes;
     }

@@ -54,6 +54,14 @@ struct CampaignJob
      * entries.
      */
     double freqGhz = 0.0;
+    /**
+     * Swept supply voltage in volts; 0 selects the on-curve voltage
+     * at the job's frequency *and* the vdd-free job key, so
+     * campaigns without a `vdds` axis — and sweep voltages that
+     * coincide with the V/f curve — replay pre-undervolting cache
+     * entries.
+     */
+    double vdd = 0.0;
 };
 
 /** A generated workload with its provenance. */
@@ -103,11 +111,14 @@ struct CampaignResult
  * fingerprint and the campaign salt. @p freq_ghz joins the hash
  * only when positive (a swept non-nominal operating point): the
  * nominal point keeps the exact pre-DVFS key, so existing cache
- * directories upgrade miss-free.
+ * directories upgrade miss-free. @p vdd_volts likewise joins only
+ * when positive (an off-curve voltage), under a domain-separation
+ * tag so a vdd-only sweep can never collide with a freq-only one.
  */
 uint64_t campaignJobKey(const Program &prog, const ChipConfig &cfg,
                         uint64_t machine_fingerprint,
-                        uint64_t salt, double freq_ghz = 0.0);
+                        uint64_t salt, double freq_ghz = 0.0,
+                        double vdd_volts = 0.0);
 
 /**
  * Fingerprint of everything in (@p spec, machine) that determines a

@@ -79,7 +79,7 @@ exportSamplesCsv(std::ostream &os,
     for (const auto &name : dynamicFeatureNames())
         os << "," << toLower(name) << "_gevps";
     os << ",power_watts,instr_gips,core_ipc"
-          ",freq_ghz,epi_j,edp\n";
+          ",freq_ghz,epi_j,edp,vdd_volts,reliable\n";
     for (const auto &s : samples) {
         os << csvField(s.workload) << "," << s.config.cores << ","
            << s.config.smt;
@@ -88,7 +88,8 @@ exportSamplesCsv(std::ostream &os,
         os << "," << num(s.powerWatts) << "," << num(s.instrGips)
            << "," << num(s.coreIpc) << "," << num(s.freqGhz)
            << "," << num(sampleEpiJoules(s)) << ","
-           << num(sampleEdp(s)) << "\n";
+           << num(sampleEdp(s)) << "," << num(s.vddVolts) << ","
+           << (s.reliable ? 1 : 0) << "\n";
     }
 }
 
@@ -114,7 +115,10 @@ exportSamplesJson(std::ostream &os,
            << ", \"core_ipc\": " << num(s.coreIpc)
            << ", \"freq_ghz\": " << num(s.freqGhz)
            << ", \"epi_j\": " << num(sampleEpiJoules(s))
-           << ", \"edp\": " << num(sampleEdp(s)) << "}"
+           << ", \"edp\": " << num(sampleEdp(s))
+           << ", \"vdd_volts\": " << num(s.vddVolts)
+           << ", \"reliable\": " << (s.reliable ? "true" : "false")
+           << "}"
            << (i + 1 < samples.size() ? "," : "") << "\n";
     }
     os << "]\n";

@@ -46,6 +46,13 @@ manifestToText(const CampaignManifest &m)
             std::snprintf(freq, sizeof freq, "%.17g", e.freqGhz);
             os << "@" << freq;
         }
+        // Off-curve jobs append a V-terminated "@vddV" segment; the
+        // trailing V disambiguates a lone vdd segment from a freq.
+        if (e.vdd > 0.0) {
+            char vdd[40];
+            std::snprintf(vdd, sizeof vdd, "%.17g", e.vdd);
+            os << "@" << vdd << "V";
+        }
         os << " " << e.source << "\t" << e.workload << "\n";
     }
     return os.str();
@@ -98,16 +105,33 @@ manifestFromText(const std::string &text, CampaignManifest &out)
             auto head = splitWs(val.substr(0, tab));
             if (head.size() < 3)
                 return false;
-            // Config token: "cores-smt" (nominal point) or
-            // "cores-smt@freq" (swept job).
-            std::string cfg_tok = head[1];
-            auto at = cfg_tok.find('@');
-            std::string freq_tok;
-            if (at != std::string::npos) {
-                freq_tok = cfg_tok.substr(at + 1);
-                cfg_tok = cfg_tok.substr(0, at);
+            // Config token: "cores-smt" plus up to two "@" sweep
+            // segments — "@freq" (swept clock), "@vddV" (off-curve
+            // voltage, V-terminated) or "@freq@vddV" (both). With
+            // one segment, the trailing V decides which axis it is;
+            // with two, the order is fixed and the second must end
+            // in V.
+            auto seg = split(head[1], '@');
+            if (seg.size() < 1 || seg.size() > 3)
+                return false;
+            std::string freq_tok, vdd_tok;
+            auto take_vdd = [&](const std::string &s) {
+                if (s.size() < 2 || s.back() != 'V')
+                    return false;
+                vdd_tok = s.substr(0, s.size() - 1);
+                return true;
+            };
+            if (seg.size() == 2) {
+                if (seg[1].empty())
+                    return false;
+                if (!take_vdd(seg[1]))
+                    freq_tok = seg[1];
+            } else if (seg.size() == 3) {
+                freq_tok = seg[1];
+                if (!take_vdd(seg[2]))
+                    return false;
             }
-            auto cfg = split(cfg_tok, '-');
+            auto cfg = split(seg[0], '-');
             if (cfg.size() != 2)
                 return false;
             try {
@@ -116,14 +140,18 @@ manifestFromText(const std::string &text, CampaignManifest &out)
                 e.config.smt = std::stoi(cfg[1]);
                 if (!freq_tok.empty())
                     e.freqGhz = std::stod(freq_tok);
+                if (!vdd_tok.empty())
+                    e.vdd = std::stod(vdd_tok);
             } catch (const std::exception &) {
                 return false;
             }
-            // A "@freq" suffix promises a swept operating point; no
-            // campaign sweeps a non-positive clock, so such an
-            // entry is corrupt (an absent suffix is the nominal
-            // point, not corruption).
-            if (at != std::string::npos && e.freqGhz <= 0.0)
+            // A sweep suffix promises a swept operating point; no
+            // campaign sweeps a non-positive clock or voltage, so
+            // such an entry is corrupt (an absent suffix is the
+            // on-curve nominal point, not corruption).
+            if (!freq_tok.empty() && e.freqGhz <= 0.0)
+                return false;
+            if (!vdd_tok.empty() && e.vdd <= 0.0)
                 return false;
             // No campaign ever plans a job on fewer than one core
             // or SMT thread; such an entry (e.g. a corrupt "0-0")

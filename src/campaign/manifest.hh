@@ -47,6 +47,14 @@ struct ManifestEntry
      * suffix anywhere) parse unchanged as nominal-point jobs.
      */
     double freqGhz = 0.0;
+    /**
+     * Swept supply voltage in volts; 0 = on-curve. Serialized as a
+     * V-terminated "@vddV" suffix on the config token only when
+     * non-zero ("8-4@2.5@0.92V" for both axes, "8-4@0.92V" for vdd
+     * alone), so pre-undervolting manifests parse unchanged as
+     * on-curve jobs.
+     */
+    double vdd = 0.0;
 };
 
 /** The persisted job list of one campaign run. */

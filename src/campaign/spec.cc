@@ -47,6 +47,9 @@ CampaignSpec::contentSummary() const
     if (!freqs.empty())
         os << " x " << freqs.size()
            << (freqs.size() == 1 ? " freq" : " freqs");
+    if (!vdds.empty())
+        os << " x " << vdds.size()
+           << (vdds.size() == 1 ? " vdd" : " vdds");
     return os.str();
 }
 
@@ -105,6 +108,26 @@ parseFreqList(const std::string &s, const std::string &context)
     }
     if (out.empty())
         fatal(cat("empty frequency list in ", context));
+    return out;
+}
+
+std::vector<double>
+parseVddList(const std::string &s, const std::string &context)
+{
+    std::vector<double> out;
+    for (const auto &v : split(s, ',')) {
+        double volts = parseDouble(trim(v), context);
+        if (volts <= 0.0)
+            fatal(cat("voltage must be > 0 V, got '", trim(v),
+                      "' in ", context));
+        for (double seen : out)
+            if (seen == volts)
+                fatal(cat("duplicate voltage ", trim(v), " in ",
+                          context));
+        out.push_back(volts);
+    }
+    if (out.empty())
+        fatal(cat("empty voltage list in ", context));
     return out;
 }
 
@@ -201,6 +224,8 @@ parseCampaignSpecText(const std::string &text,
             spec.configs = parseConfigList(val, context);
         } else if (key == "freqs") {
             spec.freqs = parseFreqList(val, context);
+        } else if (key == "vdds") {
+            spec.vdds = parseVddList(val, context);
         } else if (key == "threads") {
             spec.threads =
                 static_cast<int>(parseInt(val, context));

@@ -68,6 +68,17 @@ struct CampaignSpec
      * entries too.
      */
     std::vector<double> freqs;
+    /**
+     * Undervolting axis in volts ("vdds = 0.85,0.90,0.95,1.0"):
+     * cross-producted with the frequency axis — every (workload,
+     * config, freq) point is measured at every listed supply
+     * voltage. A listed voltage that equals the V/f curve's voltage
+     * at that frequency collapses to the on-curve job (same key as
+     * a freqs-only campaign, so existing cache entries stay hits).
+     * Empty (the default) measures on-curve only. Points below the
+     * workload's hidden Vmin come back flagged unreliable.
+     */
+    std::vector<double> vdds;
     /**@}*/
 
     /** @name Execution */
@@ -188,6 +199,14 @@ std::vector<ChipConfig> parseConfigList(const std::string &s,
  */
 std::vector<double> parseFreqList(const std::string &s,
                                   const std::string &context);
+
+/**
+ * Parse a comma-separated volt list ("0.85,0.9,0.95,1.0") as
+ * accepted by the `vdds` spec key and `mprobe_campaign --vdds`.
+ * Duplicate or non-positive voltages are fatal() with @p context.
+ */
+std::vector<double> parseVddList(const std::string &s,
+                                 const std::string &context);
 
 /**
  * Parse a shard selector "i/n" (0 <= i < n, n >= 1) as accepted by

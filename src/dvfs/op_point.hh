@@ -17,6 +17,7 @@
 #ifndef DVFS_OP_POINT_HH
 #define DVFS_OP_POINT_HH
 
+#include <algorithm>
 #include <string>
 
 namespace mprobe
@@ -31,16 +32,45 @@ namespace mprobe
 constexpr double kNominalFreqGhz = 3.0;
 
 /**
+ * @name Default V/f-curve constants
+ * The hidden curve of the default machine: V(f) =
+ * max(kNominalVddFloor, kNominalVdd + kNominalVddSlopePerGhz *
+ * (f - kNominalFreqGhz)). GroundTruthParams defaults to exactly
+ * these values (one definition, no drift), and cache entries
+ * serialized before the vdd axis existed reconstruct their supply
+ * voltage from this curve on load — exact for every default-curve
+ * machine, best-effort for custom-curve machines (whose entries
+ * live under a different machine fingerprint anyway).
+ */
+/**@{*/
+constexpr double kNominalVdd = 1.00;
+constexpr double kNominalVddSlopePerGhz = 0.16;
+constexpr double kNominalVddFloor = 0.85;
+/**@}*/
+
+/** The default curve's supply voltage at @p freq_ghz. */
+inline double
+nominalCurveVoltage(double freq_ghz)
+{
+    return std::max(kNominalVddFloor,
+                    kNominalVdd + kNominalVddSlopePerGhz *
+                                      (freq_ghz - kNominalFreqGhz));
+}
+
+/**
  * One DVFS operating point: a core frequency and the supply voltage
  * the machine's V/f curve assigns to it. Construct through
  * Machine::operatingPoint so the voltage matches the machine's
- * hidden curve; a hand-built point with an off-curve voltage is a
- * what-if experiment, which Machine::run happily simulates.
+ * hidden curve; a hand-built point with an off-curve voltage is an
+ * undervolting (or overvolting) experiment, which Machine::run
+ * happily simulates — below the workload's hidden Vmin the result
+ * comes back flagged unreliable, mimicking real margin loss. The
+ * full power-model and margin equations live in docs/MODEL.md.
  */
 struct OperatingPoint
 {
     double freqGhz = kNominalFreqGhz;
-    double voltage = 1.0;
+    double voltage = kNominalVdd;
 
     /** "2.5GHz@0.92V" label used in sweep reports. */
     std::string label() const;

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Per-phase DVFS schedule construction.
+ */
+
+#include "dvfs/schedule.hh"
+
+#include <cmath>
+#include <utility>
+
+#include "potra/analysis.hh"
+#include "power/sample.hh"
+#include "util/logging.hh"
+
+namespace mprobe
+{
+
+namespace
+{
+
+/** Steady-state measurement of one kernel at one point. */
+struct SteadyPoint
+{
+    double gips = 0.0;
+    double watts = 0.0;
+};
+
+SteadyPoint
+steadyAt(const Machine &machine, const Program &prog,
+         const ChipConfig &cfg, const OperatingPoint &op,
+         uint64_t salt)
+{
+    Sample s = makeSample(prog.name,
+                          machine.run(prog, cfg, op, salt));
+    return {s.instrGips, s.powerWatts};
+}
+
+} // namespace
+
+DvfsSchedule
+scheduleFromPhases(const Machine &machine,
+                   const PhasedWorkload &workload,
+                   const ChipConfig &cfg,
+                   const std::vector<double> &freqs,
+                   double sample_ms, uint64_t salt)
+{
+    if (freqs.size() < 2)
+        fatal(cat("scheduleFromPhases: need >= 2 swept "
+                  "frequencies, got ",
+                  freqs.size(),
+                  " (one point admits no schedule)"));
+    if (workload.phases.empty())
+        fatal(cat("scheduleFromPhases: workload '", workload.name,
+                  "' has no phases"));
+    for (const auto &wp : workload.phases)
+        if (!wp.program)
+            fatal(cat("scheduleFromPhases: workload '",
+                      workload.name, "' has a null-program phase"));
+
+    DvfsSchedule out;
+    out.workload = workload.name;
+    out.config = cfg;
+
+    // 1. Trace at the nominal point and recover the phases from
+    // the power series alone — the governor's view.
+    PowerTrace trace =
+        tracePhased(machine, workload, cfg, sample_ms, salt);
+    std::vector<DetectedPhase> detected = segmentPhases(trace);
+    if (detected.empty())
+        fatal(cat("scheduleFromPhases: no phases detected in "
+                  "workload '",
+                  workload.name, "'"));
+
+    // 2. Steady nominal measurement per kernel (memoized across
+    // phase entries that reuse one program), for attribution and
+    // for the phases' instruction-work estimates.
+    size_t n_kernels = workload.phases.size();
+    std::vector<SteadyPoint> nominal(n_kernels);
+    for (size_t i = 0; i < n_kernels; ++i) {
+        const Program *prog = workload.phases[i].program;
+        bool found = false;
+        for (size_t j = 0; j < i && !found; ++j)
+            if (workload.phases[j].program == prog) {
+                nominal[i] = nominal[j];
+                found = true;
+            }
+        if (!found)
+            nominal[i] = steadyAt(machine, *prog, cfg,
+                                  machine.operatingPoint(), salt);
+    }
+
+    // 3. Attribute each detected phase to the kernel whose steady
+    // nominal power is nearest its traced mean (first index wins
+    // ties), and size its work in giga-instructions from the
+    // attributed kernel's nominal rate over the traced duration.
+    size_t n_phases = detected.size();
+    std::vector<size_t> kernel_of(n_phases, 0);
+    std::vector<double> work_gi(n_phases, 0.0);
+    for (size_t p = 0; p < n_phases; ++p) {
+        double best = -1.0;
+        for (size_t i = 0; i < n_kernels; ++i) {
+            double d = std::fabs(detected[p].meanWatts -
+                                 nominal[i].watts);
+            if (best < 0.0 || d < best) {
+                best = d;
+                kernel_of[p] = i;
+            }
+        }
+        work_gi[p] = nominal[kernel_of[p]].gips *
+                     detected[p].durationMs(trace) / 1000.0;
+    }
+
+    // 4. Per-kernel steady measurements across the sweep, then the
+    // per-(phase, frequency) time/energy tables every candidate
+    // assignment is evaluated against.
+    size_t n_freqs = freqs.size();
+    std::vector<std::vector<SteadyPoint>> steady(
+        n_kernels, std::vector<SteadyPoint>(n_freqs));
+    for (size_t i = 0; i < n_kernels; ++i) {
+        const Program *prog = workload.phases[i].program;
+        bool found = false;
+        for (size_t j = 0; j < i && !found; ++j)
+            if (workload.phases[j].program == prog) {
+                steady[i] = steady[j];
+                found = true;
+            }
+        if (found)
+            continue;
+        for (size_t k = 0; k < n_freqs; ++k)
+            steady[i][k] =
+                steadyAt(machine, *prog, cfg,
+                         machine.operatingPoint(freqs[k]), salt);
+    }
+    std::vector<std::vector<double>> time_s(
+        n_phases, std::vector<double>(n_freqs));
+    std::vector<std::vector<double>> energy_j(
+        n_phases, std::vector<double>(n_freqs));
+    for (size_t p = 0; p < n_phases; ++p)
+        for (size_t k = 0; k < n_freqs; ++k) {
+            const SteadyPoint &sp = steady[kernel_of[p]][k];
+            if (sp.gips <= 0.0)
+                fatal(cat("scheduleFromPhases: kernel '",
+                          workload.phases[kernel_of[p]]
+                              .program->name,
+                          "' retired no instructions at ",
+                          freqs[k], " GHz"));
+            time_s[p][k] = work_gi[p] / sp.gips;
+            energy_j[p][k] = sp.watts * time_s[p][k];
+        }
+
+    // 5. Static baselines: the whole run pinned at each point.
+    for (size_t k = 0; k < n_freqs; ++k) {
+        StaticPointReport r;
+        r.op = machine.operatingPoint(freqs[k]);
+        for (size_t p = 0; p < n_phases; ++p) {
+            r.seconds += time_s[p][k];
+            r.energyJ += energy_j[p][k];
+        }
+        r.edp = r.energyJ * r.seconds;
+        out.staticPoints.push_back(r);
+        if (r.edp < out.staticPoints[out.bestStatic].edp)
+            out.bestStatic = k;
+    }
+
+    // 6. Whole-run EDP = (sum E) * (sum T) couples the phases, so
+    // optimize the assignment by coordinate descent seeded at the
+    // best static point: the result can only improve on that seed,
+    // which makes "schedule <= best static" a construction
+    // invariant rather than a hope.
+    std::vector<size_t> assign(n_phases, out.bestStatic);
+    auto edp_of = [&](const std::vector<size_t> &a) {
+        double t = 0.0, e = 0.0;
+        for (size_t p = 0; p < n_phases; ++p) {
+            t += time_s[p][a[p]];
+            e += energy_j[p][a[p]];
+        }
+        return e * t;
+    };
+    double cur = edp_of(assign);
+    bool changed = true;
+    for (int pass = 0; changed && pass < 64; ++pass) {
+        changed = false;
+        for (size_t p = 0; p < n_phases; ++p) {
+            size_t keep = assign[p];
+            size_t best_k = keep;
+            double best_edp = cur;
+            for (size_t k = 0; k < n_freqs; ++k) {
+                if (k == keep)
+                    continue;
+                assign[p] = k;
+                double e = edp_of(assign);
+                // Strict improvement only: ties keep the current
+                // choice, so the descent terminates.
+                if (e < best_edp) {
+                    best_edp = e;
+                    best_k = k;
+                }
+            }
+            assign[p] = best_k;
+            if (best_k != keep) {
+                cur = best_edp;
+                changed = true;
+            }
+        }
+    }
+
+    for (size_t p = 0; p < n_phases; ++p) {
+        SchedulePhase sp;
+        sp.phase = p;
+        sp.durationMs = detected[p].durationMs(trace);
+        sp.meanWatts = detected[p].meanWatts;
+        sp.program = kernel_of[p];
+        sp.op = machine.operatingPoint(freqs[assign[p]]);
+        sp.seconds = time_s[p][assign[p]];
+        sp.energyJ = energy_j[p][assign[p]];
+        out.seconds += sp.seconds;
+        out.energyJ += sp.energyJ;
+        out.phases.push_back(std::move(sp));
+    }
+    out.edp = out.energyJ * out.seconds;
+    double base = out.staticPoints[out.bestStatic].edp;
+    out.edpGainVsBestStatic =
+        base > 0.0 ? 1.0 - out.edp / base : 0.0;
+    return out;
+}
+
+} // namespace mprobe

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Per-phase energy-optimal DVFS schedules.
+ *
+ * The closing move of the DVFS work: instead of one static
+ * operating point per application, pick a point per *phase*. A
+ * phased workload is traced at the nominal point, potra's
+ * segmentPhases recovers its phases from the power trace alone
+ * (exactly what a real DVFS governor would see), each phase is
+ * attributed to the kernel whose steady power it matches, and a
+ * per-phase operating-point assignment is optimized for whole-run
+ * EDP. Compute-bound phases keep high frequency (their time — and
+ * the EDP delay term — would balloon at low f for little energy
+ * gain); memory-bound phases drop to low frequency (DRAM latency in
+ * ns pins their rate while power still falls with V^2 f). The
+ * schedule is reported next to every static point of the same
+ * sweep; because the optimizer starts from the best static
+ * assignment, the schedule's EDP is never worse than the best
+ * static point's, and strictly better whenever the workload mixes
+ * compute- and memory-bound phases.
+ */
+
+#ifndef DVFS_SCHEDULE_HH
+#define DVFS_SCHEDULE_HH
+
+#include <string>
+#include <vector>
+
+#include "dvfs/op_point.hh"
+#include "potra/trace.hh"
+#include "sim/machine.hh"
+
+namespace mprobe
+{
+
+/** One phase of a computed schedule. */
+struct SchedulePhase
+{
+    /** Index of the detected phase (trace order). */
+    size_t phase = 0;
+    /** Phase duration in the nominal-point trace, ms. */
+    double durationMs = 0.0;
+    /** Mean traced power over the phase at the nominal point. */
+    double meanWatts = 0.0;
+    /** Index into the workload's phase list of the kernel this
+     * detected phase was attributed to (by nearest steady power). */
+    size_t program = 0;
+    /** The operating point the schedule assigns to this phase. */
+    OperatingPoint op;
+    /** Projected time and energy of the phase's work at op. */
+    double seconds = 0.0;
+    double energyJ = 0.0;
+};
+
+/** One static operating point's whole-run projection. */
+struct StaticPointReport
+{
+    OperatingPoint op;
+    double seconds = 0.0;
+    double energyJ = 0.0;
+    double edp = 0.0;
+};
+
+/** The computed schedule and its static baselines. */
+struct DvfsSchedule
+{
+    std::string workload;
+    ChipConfig config;
+    std::vector<SchedulePhase> phases;
+    /** Whole-run totals under the schedule. */
+    double seconds = 0.0;
+    double energyJ = 0.0;
+    double edp = 0.0;
+    /** Every static point of the sweep, in freqs order. */
+    std::vector<StaticPointReport> staticPoints;
+    /** Index of the static point with the lowest EDP. */
+    size_t bestStatic = 0;
+    /** EDP saved vs the best static point: 1 - edp/staticEdp
+     * (>= 0 by construction). */
+    double edpGainVsBestStatic = 0.0;
+};
+
+/**
+ * Compute the per-phase energy-optimal (minimum whole-run EDP)
+ * DVFS schedule of @p workload on @p cfg over the on-curve
+ * operating points at @p freqs (>= 2 required — a one-point
+ * "sweep" admits no schedule; fatal() otherwise). Deterministic for
+ * fixed inputs and @p salt, like every measurement path.
+ */
+DvfsSchedule scheduleFromPhases(const Machine &machine,
+                                const PhasedWorkload &workload,
+                                const ChipConfig &cfg,
+                                const std::vector<double> &freqs,
+                                double sample_ms = 1.0,
+                                uint64_t salt = 0);
+
+} // namespace mprobe
+
+#endif // DVFS_SCHEDULE_HH

@@ -78,6 +78,8 @@ analyzeSweep(const std::vector<Sample> &samples)
     for (const auto &s : samples) {
         if (s.instrGips <= 0.0)
             continue; // placeholder (e.g. off-shard slot)
+        if (!s.reliable)
+            continue; // below Vmin: must not win an optimum
         auto key = std::make_pair(s.workload, s.config.label());
         auto it = index.find(key);
         if (it == index.end()) {
@@ -93,6 +95,15 @@ analyzeSweep(const std::vector<Sample> &samples)
             out.freqs.push_back(s.freqGhz);
     }
     std::sort(out.freqs.begin(), out.freqs.end());
+    // A sweep needs at least two operating points: a "sweep" of one
+    // frequency would report that frequency as the triple optimum
+    // of every series — a degenerate table that reads like a
+    // result. Refusing beats mis-reporting.
+    if (out.freqs.size() < 2)
+        fatal(cat("analyzeSweep: need samples at >= 2 distinct "
+                  "frequencies, got ",
+                  out.freqs.size(),
+                  " (sweep a freqs axis, e.g. --freqs)"));
     for (auto &series : out.series) {
         std::stable_sort(series.points.begin(),
                          series.points.end(),
@@ -148,12 +159,21 @@ crossFrequencyError(const std::vector<Sample> &samples,
     for (const auto &s : samples) {
         if (s.instrGips <= 0.0)
             continue;
+        if (!s.reliable)
+            continue; // below Vmin: must not train models
         live.push_back(s);
         if (std::find(freqs.begin(), freqs.end(), s.freqGhz) ==
             freqs.end())
             freqs.push_back(s.freqGhz);
     }
     std::sort(freqs.begin(), freqs.end());
+    // Cross-frequency validation of a single frequency would
+    // compare a model against itself and report a spurious 0-gap.
+    if (freqs.size() < 2)
+        fatal(cat("crossFrequencyError: need samples at >= 2 "
+                  "distinct frequencies, got ",
+                  freqs.size(),
+                  " (sweep a freqs axis, e.g. --freqs)"));
 
     std::vector<Sample> train = samplesAtFreq(live, train_freq);
     if (train.empty())

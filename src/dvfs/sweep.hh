@@ -80,7 +80,10 @@ struct SweepAnalysis
  * Group samples by (workload, configuration), order each group's
  * points by frequency and select the energy-optimal operating point
  * under EPI, EDP and ED^2P. Placeholder samples (no instruction
- * rate, e.g. off-shard slots of a sharded bench run) are skipped.
+ * rate, e.g. off-shard slots of a sharded bench run) and unreliable
+ * samples (below-Vmin undervolted points) are skipped. fatal() when
+ * the remaining samples span fewer than two distinct frequencies:
+ * a single-point "sweep" would report that point as every optimum.
  */
 SweepAnalysis analyzeSweep(const std::vector<Sample> &samples);
 
@@ -110,7 +113,12 @@ struct CrossFreqReport
     std::vector<Entry> entries;
 };
 
-/** fatal() when @p samples holds no points at @p train_freq. */
+/**
+ * fatal() when @p samples holds no points at @p train_freq, or when
+ * the live (non-placeholder, reliable) samples span fewer than two
+ * distinct frequencies — validating a model against its own
+ * training frequency alone would report a spurious 0-gap.
+ */
 CrossFreqReport
 crossFrequencyError(const std::vector<Sample> &samples,
                     double train_freq);

@@ -28,6 +28,8 @@ makeSample(const std::string &workload, const RunResult &r)
     s.instrGips = r.rate(r.chip.instrs) * kGiga;
     s.coreIpc = r.coreIpc;
     s.freqGhz = r.freqGhz > 0.0 ? r.freqGhz : kNominalFreqGhz;
+    s.vddVolts = r.voltage > 0.0 ? r.voltage : kNominalVdd;
+    s.reliable = r.reliable;
     return s;
 }
 

@@ -53,6 +53,15 @@ struct Sample
      * input; the DVFS sweep axis). Pre-DVFS cache entries without
      * the field load as the nominal kNominalFreqGhz. */
     double freqGhz = kNominalFreqGhz;
+    /** Supply voltage the point was measured at, volts (not a
+     * model input; the undervolting sweep axis). Cache entries
+     * without the field load as the default curve's voltage at
+     * freqGhz, i.e. on-curve. */
+    double vddVolts = kNominalVdd;
+    /** False when the point was measured below the workload's
+     * hidden Vmin: the numbers are margin-compromised and must not
+     * feed models or optimum tables. */
+    bool reliable = true;
 
     /** Number of cores as a model input. */
     double coresVar() const { return config.cores; }

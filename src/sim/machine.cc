@@ -116,6 +116,13 @@ Machine::operatingPoint(double freq_ghz) const
     return {freq_ghz, voltageAt(freq_ghz)};
 }
 
+double
+Machine::vminAt(double freq_ghz, double core_ipc) const
+{
+    return params.vminBase + params.vminPerGhz * freq_ghz +
+           params.vminPerIpc * core_ipc;
+}
+
 namespace
 {
 
@@ -283,6 +290,13 @@ Machine::finishRun(const Program &prog, const ChipConfig &cfg,
         core.window.cycles / (op.freqGhz * 1e9);
     res.freqGhz = op.freqGhz;
     res.voltage = op.voltage;
+    res.offCurve = op.voltage != voltageAt(op.freqGhz);
+
+    // The hidden margin model: at or above Vmin the measurement is
+    // clean; below it the numbers still come back (real undervolted
+    // parts keep running for a while) but flagged unreliable.
+    res.gtVminVolts = vminAt(op.freqGhz, res.coreIpc);
+    res.reliable = op.voltage >= res.gtVminVolts;
 
     // Hidden chip power composition. Dynamic energy per op scales
     // with V^2 (vr is 1.0 at the nominal point); every static term
@@ -410,6 +424,14 @@ Machine::fingerprint() const
         h.add(params.vddNominal)
             .add(params.vddSlopePerGhz)
             .add(params.vddFloor);
+    // Same discipline for the Vmin margin model: default-margin
+    // machines keep the pre-undervolting fingerprint.
+    if (params.vminBase != defaults.vminBase ||
+        params.vminPerGhz != defaults.vminPerGhz ||
+        params.vminPerIpc != defaults.vminPerIpc)
+        h.add(params.vminBase)
+            .add(params.vminPerGhz)
+            .add(params.vminPerIpc);
     h.add(simOpts.memLatency)
         .add(simOpts.warmupIters)
         .add(simOpts.measureIters)

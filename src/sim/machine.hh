@@ -73,9 +73,27 @@ struct GroundTruthParams
      * V^2*f, static power with V.
      */
     /**@{*/
-    double vddNominal = 1.00;
-    double vddSlopePerGhz = 0.16;
-    double vddFloor = 0.85;
+    double vddNominal = kNominalVdd;
+    double vddSlopePerGhz = kNominalVddSlopePerGhz;
+    double vddFloor = kNominalVddFloor;
+    /**@}*/
+    /**
+     * @name Hidden workload-dependent Vmin margin model
+     * The minimum safe supply voltage at an operating point is
+     *     Vmin(f, ipc) = vminBase + vminPerGhz*f + vminPerIpc*ipc,
+     * growing with frequency (timing paths tighten) and with core
+     * activity (voltage droop under load) — the workload-dependent
+     * margin shape Papadimitriou et al. measure on real server
+     * parts. A run at op.voltage < Vmin is marked unreliable
+     * (RunResult::reliable / Sample::reliable) instead of returning
+     * clean numbers; exactly at Vmin it is still reliable. The
+     * defaults keep every on-curve point reliable: the curve's
+     * floor (0.85 V) sits above Vmin for any reachable IPC.
+     */
+    /**@{*/
+    double vminBase = 0.60;
+    double vminPerGhz = 0.04;
+    double vminPerIpc = 0.02;
     /**@}*/
 };
 
@@ -109,6 +127,17 @@ struct RunResult
      * clock unless the caller swept it). */
     double freqGhz = 0.0;
     double voltage = 0.0;
+    /**
+     * False when the run's supply voltage sat below the workload's
+     * hidden Vmin (see GroundTruthParams): the numbers are what a
+     * margin-violating machine would report, not trustworthy
+     * measurements. On-curve and at-Vmin runs are reliable.
+     */
+    bool reliable = true;
+    /** Whether the operating point's voltage deviates from the
+     * machine's V/f curve at its frequency (an undervolt/overvolt
+     * experiment rather than a plain DVFS point). */
+    bool offCurve = false;
 
     /**
      * @name Ground-truth oracle (tests and EXPERIMENTS.md only)
@@ -120,6 +149,9 @@ struct RunResult
     double gtCmpWatts = 0.0;
     double gtUncoreWatts = 0.0;
     double gtIdleWatts = 0.0;
+    /** The workload's minimum safe voltage at this run's operating
+     * point (the boundary `reliable` was judged against). */
+    double gtVminVolts = 0.0;
     /**@}*/
 
     /** Chip-wide event rate (events/second) for a counter value. */
@@ -278,6 +310,9 @@ class Machine
 
     double staticCmpWatts(int cores) const;
     double sensorize(double watts, uint64_t seed) const;
+    /** The hidden workload-dependent minimum safe voltage at
+     * @p freq_ghz for a workload running at @p core_ipc. */
+    double vminAt(double freq_ghz, double core_ipc) const;
 
     /** Shared head of every run variant: argument validation. */
     void validateRun(const Program &prog, const ChipConfig &cfg,

@@ -87,7 +87,8 @@ samplesEqual(const Sample &a, const Sample &b)
            a.config.smt == b.config.smt && a.rates == b.rates &&
            a.powerWatts == b.powerWatts &&
            a.instrGips == b.instrGips && a.coreIpc == b.coreIpc &&
-           a.freqGhz == b.freqGhz;
+           a.freqGhz == b.freqGhz && a.vddVolts == b.vddVolts &&
+           a.reliable == b.reliable;
 }
 
 } // namespace
@@ -648,7 +649,8 @@ TEST(Export, CsvShapeAndQuoting)
     EXPECT_EQ(header,
               "workload,cores,smt,fxu_gevps,vsu_gevps,lsu_gevps,"
               "l1_gevps,l2_gevps,l3_gevps,mem_gevps,power_watts,"
-              "instr_gips,core_ipc,freq_ghz,epi_j,edp");
+              "instr_gips,core_ipc,freq_ghz,epi_j,edp,vdd_volts,"
+              "reliable");
     EXPECT_NE(row.find("\"weird,\"\"name\"\"\""),
               std::string::npos);
     EXPECT_NE(row.find("100.5"), std::string::npos);
@@ -1554,6 +1556,278 @@ TEST(CampaignShard, ShardedFreqSweepMergesBitIdentical)
 
     CampaignSpec spec = sweep_spec();
     spec.cacheDir = freshCacheDir("freq-shard");
+    spec.shardCount = 2;
+    std::set<uint64_t> seen;
+    for (int index = 0; index < 2; ++index) {
+        spec.shardIndex = index;
+        Campaign shard(f.machine, spec);
+        CampaignResult sr = shard.run(f.arch);
+        EXPECT_EQ(sr.cacheHits, 0u) << index;
+        for (const auto &job : sr.jobs)
+            EXPECT_TRUE(seen.insert(job.key).second);
+    }
+    EXPECT_EQ(seen.size(), r.jobs.size());
+
+    CampaignManifest m;
+    ASSERT_TRUE(loadManifest(manifestPath(spec.cacheDir), m));
+    ResultCache cache(spec.cacheDir);
+    ManifestCollection col = collectManifestSamples(m, cache);
+    EXPECT_TRUE(col.missing.empty());
+    std::ostringstream merged_csv;
+    exportSamplesCsv(merged_csv, col.samples);
+    EXPECT_EQ(merged_csv.str(), ref_csv.str());
+}
+
+// ---------------------------------------------------------------
+// Undervolting (vdd) axis
+
+TEST(CampaignSpec, VddsKeyParses)
+{
+    CampaignSpec spec = parseCampaignSpecText(
+        "vdds = 0.85, 0.9,0.95,1.0\n", "<test>");
+    ASSERT_EQ(spec.vdds.size(), 4u);
+    EXPECT_EQ(spec.vdds[0], 0.85);
+    EXPECT_EQ(spec.vdds[3], 1.0);
+    // Default: no axis.
+    EXPECT_TRUE(parseCampaignSpecText("", "<test>").vdds.empty());
+}
+
+TEST(CampaignSpecDeath, BadVddsFatal)
+{
+    EXPECT_EXIT(parseCampaignSpecText("vdds = 0\n", "<test>"),
+                testing::ExitedWithCode(1), "must be > 0 V");
+    EXPECT_EXIT(
+        parseCampaignSpecText("vdds = 0.9,-1\n", "<test>"),
+        testing::ExitedWithCode(1), "must be > 0 V");
+    EXPECT_EXIT(
+        parseCampaignSpecText("vdds = 0.9,0.9\n", "<test>"),
+        testing::ExitedWithCode(1), "duplicate voltage");
+}
+
+TEST(CampaignJobKey, VddJoinsTheKeyOnlyWhenOffCurve)
+{
+    Fixture f;
+    auto progs = f.programs(1);
+    uint64_t fp = f.machine.fingerprint();
+    uint64_t legacy = campaignJobKey(progs[0], {1, 1}, fp, 0);
+    // The on-curve sentinel (0) is the pre-undervolting key.
+    EXPECT_EQ(legacy,
+              campaignJobKey(progs[0], {1, 1}, fp, 0, 0.0, 0.0));
+    // Off-curve voltages get their own keys, distinct per volt.
+    uint64_t k90 =
+        campaignJobKey(progs[0], {1, 1}, fp, 0, 0.0, 0.90);
+    uint64_t k95 =
+        campaignJobKey(progs[0], {1, 1}, fp, 0, 0.0, 0.95);
+    EXPECT_NE(legacy, k90);
+    EXPECT_NE(legacy, k95);
+    EXPECT_NE(k90, k95);
+    // Domain separation: a vdd-only job must not collide with a
+    // freq-only job sweeping the same numeric value.
+    EXPECT_NE(campaignJobKey(progs[0], {1, 1}, fp, 0, 2.5, 0.0),
+              campaignJobKey(progs[0], {1, 1}, fp, 0, 0.0, 2.5));
+}
+
+TEST(CampaignVdds, ExpansionCrossProductsAndOnCurveCollapses)
+{
+    Fixture f;
+    auto progs = f.programs(2);
+    std::vector<ChipConfig> cfgs = {{1, 1}, {2, 1}};
+
+    // Reference: the axis-free (on-curve nominal) measurement.
+    Campaign ref(f.machine, tinySpec());
+    auto nominal = ref.measure(progs, cfgs);
+
+    double curve_v = f.machine.voltageAt(f.machine.clockGhz());
+    CampaignSpec spec = tinySpec();
+    spec.vdds = {0.90, curve_v};
+    Campaign c(f.machine, spec);
+    auto swept = c.measure(progs, cfgs);
+
+    // Workload-major, config then frequency then vdd innermost.
+    ASSERT_EQ(swept.size(),
+              progs.size() * cfgs.size() * spec.vdds.size());
+    for (size_t w = 0; w < progs.size(); ++w)
+        for (size_t cfg = 0; cfg < cfgs.size(); ++cfg) {
+            size_t base =
+                (w * cfgs.size() + cfg) * spec.vdds.size();
+            EXPECT_EQ(swept[base].vddVolts, 0.90);
+            // The on-curve sweep point is exactly the axis-free
+            // measurement (collapsed key, same sensor noise).
+            EXPECT_TRUE(samplesEqual(
+                swept[base + 1], nominal[w * cfgs.size() + cfg]));
+            // Undervolting at fixed frequency saves power.
+            EXPECT_LT(swept[base].powerWatts,
+                      swept[base + 1].powerWatts);
+        }
+}
+
+TEST(CampaignVdds, BelowVminComesBackFlaggedUnreliable)
+{
+    Fixture f;
+    auto progs = f.programs(1);
+    std::vector<ChipConfig> cfgs = {{1, 1}};
+    CampaignSpec spec = tinySpec();
+    // At 3 GHz the hidden Vmin is at least 0.60 + 0.04*3 = 0.72 V
+    // (plus the IPC term): 0.70 V is always below it, 1.0 V (the
+    // nominal curve point) always above.
+    spec.vdds = {0.70, 1.0};
+    Campaign c(f.machine, spec);
+    auto swept = c.measure(progs, cfgs);
+    ASSERT_EQ(swept.size(), 2u);
+    EXPECT_FALSE(swept[0].reliable);
+    EXPECT_TRUE(swept[1].reliable);
+    // The unreliable point still carries its measured numbers.
+    EXPECT_GT(swept[0].powerWatts, 0.0);
+}
+
+TEST(SampleText, MissingVddLoadsAsCurveDefault)
+{
+    // Pre-undervolting cache entries carry no vdd/reliable lines:
+    // they must load as the on-curve voltage at their frequency,
+    // reliable.
+    Sample s;
+    s.workload = "w";
+    s.config = {1, 1};
+    s.rates = {1, 2, 3, 4, 5, 6, 7};
+    s.powerWatts = 70.0;
+    s.instrGips = 1.0;
+    s.coreIpc = 1.0;
+    s.freqGhz = 2.5;
+    s.vddVolts = 0.9;
+    s.reliable = false;
+    std::string text = sampleToText(s);
+    // Erase the vdd and reliable lines (pre-undervolting writers
+    // never emitted them).
+    std::string legacy = text;
+    for (const char *key : {"vdd ", "reliable "}) {
+        auto at = legacy.find(key);
+        ASSERT_NE(at, std::string::npos) << key;
+        legacy = legacy.substr(0, at) +
+                 legacy.substr(legacy.find('\n', at) + 1);
+    }
+    Sample t;
+    t.vddVolts = 99.0; // stale state must not leak through
+    t.reliable = false;
+    ASSERT_TRUE(sampleFromText(legacy, t));
+    EXPECT_EQ(t.vddVolts, nominalCurveVoltage(2.5));
+    EXPECT_TRUE(t.reliable);
+    // While explicit corrupt lines must fail the parse.
+    for (const char *bad : {"vdd 0\n", "vdd -1\n", "vdd x\n",
+                            "reliable 2\n", "reliable x\n",
+                            "reliable \n"}) {
+        Sample u;
+        EXPECT_FALSE(sampleFromText(legacy + bad, u)) << bad;
+    }
+    // And the full round-trip preserves voltage and flag.
+    Sample v;
+    ASSERT_TRUE(sampleFromText(text, v));
+    EXPECT_EQ(v.vddVolts, 0.9);
+    EXPECT_FALSE(v.reliable);
+}
+
+TEST(CampaignCache, LegacyEntryWithoutVddIsAHit)
+{
+    // End to end: strip the vdd and reliable lines off a real
+    // cache entry (as a pre-undervolting run would have written
+    // it) and re-measure — the entry must stay a hit with the
+    // exact on-curve voltage.
+    Fixture f;
+    auto progs = f.programs(1);
+    std::vector<ChipConfig> cfgs = {{1, 1}};
+    CampaignSpec spec = tinySpec();
+    spec.cacheDir = freshCacheDir("vdd-legacy");
+
+    Campaign c(f.machine, spec);
+    auto s1 = c.measure(progs, cfgs);
+
+    uint64_t key = campaignJobKey(progs[0], cfgs[0],
+                                  f.machine.fingerprint(), 0);
+    ResultCache cache(spec.cacheDir);
+    std::string text;
+    {
+        std::ifstream in(cache.pathOf(key));
+        std::ostringstream os;
+        os << in.rdbuf();
+        text = os.str();
+    }
+    for (const char *k : {"vdd ", "reliable "}) {
+        auto at = text.find(k);
+        ASSERT_NE(at, std::string::npos) << k;
+        text = text.substr(0, at) +
+               text.substr(text.find('\n', at) + 1);
+    }
+    {
+        std::ofstream out(cache.pathOf(key));
+        out << text;
+    }
+    Campaign c2(f.machine, spec);
+    auto s2 = c2.measure(progs, cfgs);
+    EXPECT_EQ(c2.cacheHits(), 1u);
+    EXPECT_EQ(c2.cacheMisses(), 0u);
+    EXPECT_TRUE(samplesEqual(s1[0], s2[0]));
+}
+
+TEST(CampaignManifest, VddSuffixRoundTripsAndRejectsCorrupt)
+{
+    CampaignManifest m;
+    m.spec = "s";
+    m.fingerprint = 7;
+    m.entries.push_back({1, {1, 1}, "adhoc", "nominal", 0.0, 0.0});
+    m.entries.push_back({2, {8, 4}, "adhoc", "uv", 0.0, 0.875});
+    m.entries.push_back({3, {8, 4}, "adhoc", "both", 2.5, 0.875});
+    std::string text = manifestToText(m);
+    // On-curve entries keep the bare token; off-curve ones gain a
+    // V-terminated @vdd segment, after the @freq one when both.
+    EXPECT_NE(text.find(" 1-1 "), std::string::npos);
+    EXPECT_NE(text.find(" 8-4@0.875V "), std::string::npos);
+    EXPECT_NE(text.find(" 8-4@2.5@0.875V "), std::string::npos);
+    CampaignManifest t;
+    ASSERT_TRUE(manifestFromText(text, t));
+    EXPECT_EQ(t.entries[0].vdd, 0.0);
+    EXPECT_EQ(t.entries[1].freqGhz, 0.0);
+    EXPECT_EQ(t.entries[1].vdd, 0.875);
+    EXPECT_EQ(t.entries[2].freqGhz, 2.5);
+    EXPECT_EQ(t.entries[2].vdd, 0.875);
+    // Non-positive voltages, a missing trailing V on the second
+    // segment and torn suffixes are corrupt.
+    for (const char *bad :
+         {"8-4@0V", "8-4@-1V", "8-4@2.5@0.92", "8-4@2.5@V",
+          "8-4@2.5@0.92V@1V"}) {
+        std::string broken = text;
+        auto at = broken.find("8-4@0.875V");
+        broken.replace(at, 10, bad);
+        CampaignManifest u;
+        EXPECT_FALSE(manifestFromText(broken, u)) << bad;
+    }
+}
+
+TEST(CampaignShard, ShardedVddFreqSweepMergesBitIdentical)
+{
+    // The acceptance bar: a sharded vdd x freq cross-product
+    // campaign assembles byte-identically to the unsharded run —
+    // including the on-curve collapse (1.0 V is the curve voltage
+    // at 3.0 GHz but off-curve at 2.5 GHz) and any unreliable
+    // flags.
+    Fixture f;
+    auto sweep_spec = []() {
+        CampaignSpec spec = tinySpec();
+        spec.configs = {{1, 1}, {2, 2}};
+        spec.freqs = {2.5, 3.0};
+        spec.vdds = {0.90, 1.0};
+        return spec;
+    };
+
+    CampaignSpec ref_spec = sweep_spec();
+    ref_spec.threads = 1;
+    ref_spec.cacheDir = freshCacheDir("vdd-shard-ref");
+    Campaign ref(f.machine, ref_spec);
+    CampaignResult r = ref.run(f.arch);
+    EXPECT_EQ(r.totalJobs, r.workloads.size() * 2 * 2 * 2);
+    std::ostringstream ref_csv;
+    exportSamplesCsv(ref_csv, r.samples);
+
+    CampaignSpec spec = sweep_spec();
+    spec.cacheDir = freshCacheDir("vdd-shard");
     spec.shardCount = 2;
     std::set<uint64_t> seen;
     for (int index = 0; index < 2; ++index) {

@@ -284,14 +284,74 @@ TEST(DvfsSweep, SkipsPlaceholderSamples)
     real.freqGhz = 2.0;
     real.instrGips = 5.0;
     real.powerWatts = 70.0;
+    Sample real2 = real;
+    real2.freqGhz = 2.5;
     Sample placeholder = real;
     placeholder.freqGhz = 3.0;
     placeholder.instrGips = 0.0;
-    SweepAnalysis sweep = analyzeSweep({real, placeholder});
+    SweepAnalysis sweep =
+        analyzeSweep({real, real2, placeholder});
     ASSERT_EQ(sweep.series.size(), 1u);
-    EXPECT_EQ(sweep.series[0].points.size(), 1u);
-    ASSERT_EQ(sweep.freqs.size(), 1u);
+    EXPECT_EQ(sweep.series[0].points.size(), 2u);
+    ASSERT_EQ(sweep.freqs.size(), 2u);
     EXPECT_EQ(sweep.freqs[0], 2.0);
+    EXPECT_EQ(sweep.freqs[1], 2.5);
+}
+
+TEST(DvfsSweep, SkipsUnreliableSamples)
+{
+    Sample lo;
+    lo.workload = "w";
+    lo.config = {1, 1};
+    lo.freqGhz = 2.0;
+    lo.instrGips = 5.0;
+    lo.powerWatts = 70.0;
+    Sample hi = lo;
+    hi.freqGhz = 3.0;
+    hi.instrGips = 7.0;
+    hi.powerWatts = 90.0;
+    // An undervolted below-Vmin point with absurdly good numbers:
+    // it must not enter the table, let alone win an optimum.
+    Sample bogus = lo;
+    bogus.freqGhz = 2.5;
+    bogus.vddVolts = 0.5;
+    bogus.reliable = false;
+    bogus.powerWatts = 1.0;
+    bogus.instrGips = 100.0;
+    SweepAnalysis sweep = analyzeSweep({lo, hi, bogus});
+    ASSERT_EQ(sweep.series.size(), 1u);
+    EXPECT_EQ(sweep.series[0].points.size(), 2u);
+    ASSERT_EQ(sweep.freqs.size(), 2u);
+    EXPECT_EQ(sweep.freqs[0], 2.0);
+    EXPECT_EQ(sweep.freqs[1], 3.0);
+}
+
+TEST(DvfsSweepDeathTest, SingleFrequencyIsFatal)
+{
+    Sample s;
+    s.workload = "w";
+    s.config = {1, 1};
+    s.freqGhz = 2.0;
+    s.instrGips = 5.0;
+    s.powerWatts = 70.0;
+    EXPECT_EXIT(analyzeSweep({s}),
+                testing::ExitedWithCode(1),
+                "need samples at >= 2 distinct frequencies");
+}
+
+TEST(DvfsSweepDeathTest, CrossFrequencySingleFrequencyIsFatal)
+{
+    Sample s;
+    s.workload = "w";
+    s.config = {1, 1};
+    s.freqGhz = 3.0;
+    s.instrGips = 5.0;
+    s.powerWatts = 70.0;
+    Sample s2 = s;
+    s2.config = {2, 1};
+    EXPECT_EXIT(crossFrequencyError({s, s2}, 3.0),
+                testing::ExitedWithCode(1),
+                "need samples at >= 2 distinct frequencies");
 }
 
 // ---------------------------------------------------------------

@@ -11,6 +11,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -318,6 +320,59 @@ TEST(LintFingerprint, MissingStructOrFunctionIsAFinding)
                                 "b.cc", "int unrelated;\n",
                                 "fingerprint"),
         "fingerprint-coverage"));
+}
+
+// ----------------------------------------------------------------
+// Self-check on the real machine sources: the coverage rule must
+// see the GroundTruthParams Vmin-margin fields (the undervolting
+// additions), so deleting their hash lines from fingerprint()
+// cannot pass silently.
+
+namespace
+{
+
+std::string
+readRepoFile(const std::string &rel)
+{
+    std::ifstream f(std::string(MPROBE_SOURCE_DIR) + "/" + rel);
+    EXPECT_TRUE(f.is_open()) << rel;
+    std::ostringstream os;
+    os << f.rdbuf();
+    return os.str();
+}
+
+} // namespace
+
+TEST(LintFingerprint, RealMachineVminFieldsAreCovered)
+{
+    std::string hh = readRepoFile("src/sim/machine.hh");
+    std::string cc = readRepoFile("src/sim/machine.cc");
+    // Clean today: every GroundTruthParams field (including
+    // vminBase/vminPerGhz/vminPerIpc) is hashed or exempt.
+    EXPECT_TRUE(lintFingerprintCoverage(
+                    "src/sim/machine.hh", hh, "GroundTruthParams",
+                    "src/sim/machine.cc", cc, "fingerprint")
+                    .empty());
+    // And the rule is actually watching the Vmin fields: a
+    // fingerprint() with their references renamed away must fail
+    // on exactly those names.
+    std::string stripped = cc;
+    for (const std::string field :
+         {"vminBase", "vminPerGhz", "vminPerIpc"}) {
+        size_t at;
+        while ((at = stripped.find(field)) != std::string::npos)
+            stripped.replace(at, field.size(), "gone");
+        auto findings = lintFingerprintCoverage(
+            "src/sim/machine.hh", hh, "GroundTruthParams",
+            "src/sim/machine.cc", stripped, "fingerprint");
+        EXPECT_TRUE(std::any_of(
+            findings.begin(), findings.end(),
+            [&](const LintFinding &f) {
+                return f.rule == "fingerprint-coverage" &&
+                       f.message.find(field) != std::string::npos;
+            }))
+            << field;
+    }
 }
 
 // ----------------------------------------------------------------

@@ -1,0 +1,333 @@
+/**
+ * @file
+ * Tests for the undervolting axis and its analyses: the hidden Vmin
+ * margin model (edge cases at and below the threshold), the
+ * undervolt-margin discovery over a vdds sweep, unreliable samples
+ * surviving export/cache round-trips flagged, and the per-phase
+ * DVFS schedule beating every static operating point.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "campaign/campaign.hh"
+#include "campaign/export.hh"
+#include "dvfs/schedule.hh"
+#include "dvfs/undervolt.hh"
+#include "microprobe/passes.hh"
+#include "microprobe/synthesizer.hh"
+#include "util/logging.hh"
+#include "workloads/extremes.hh"
+
+using namespace mprobe;
+
+namespace
+{
+
+struct Fixture
+{
+    Architecture arch = Architecture::get("POWER7");
+    Machine machine{arch.isa()};
+
+    /** Compute-bound loop: integer ops, no memory accesses. */
+    Program
+    computeBound(size_t body = 512)
+    {
+        Synthesizer synth(arch, 0xc0deull);
+        synth.addPass<SkeletonPass>(body);
+        synth.addPass<InstructionMixPass>(
+            arch.isa().integerOps());
+        synth.addPass<RegisterInitPass>(DataPattern::Random);
+        return synth.synthesize("compute-bound");
+    }
+
+    /** Memory-bound loop: the Section-4.1.3 "Main memory" case. */
+    Program
+    memoryBound(size_t body = 512)
+    {
+        for (auto &c : generateExtremeCases(arch, body))
+            if (c.name == "Main memory")
+                return std::move(c.program);
+        ADD_FAILURE() << "no Main memory extreme case";
+        return Program();
+    }
+};
+
+} // namespace
+
+// ---------------------------------------------------------------
+// The hidden Vmin margin model
+
+TEST(VminModel, ExactlyAtVminStaysReliable)
+{
+    Fixture f;
+    Program prog = f.computeBound();
+    ChipConfig cfg{1, 1};
+    OperatingPoint nominal = f.machine.operatingPoint();
+    RunResult at_nominal = f.machine.run(prog, cfg, nominal);
+    EXPECT_TRUE(at_nominal.reliable);
+    EXPECT_FALSE(at_nominal.offCurve);
+    EXPECT_GT(at_nominal.gtVminVolts, 0.0);
+    EXPECT_LT(at_nominal.gtVminVolts, nominal.voltage);
+
+    // Voltage does not change timing, so re-running at exactly the
+    // reported Vmin reproduces the same IPC — and the same Vmin —
+    // making "exactly at the threshold" well-defined. At Vmin the
+    // result is still reliable (the margin is inclusive)...
+    OperatingPoint at_vmin = nominal;
+    at_vmin.voltage = at_nominal.gtVminVolts;
+    RunResult r = f.machine.run(prog, cfg, at_vmin);
+    EXPECT_EQ(r.gtVminVolts, at_nominal.gtVminVolts);
+    EXPECT_TRUE(r.reliable);
+    EXPECT_TRUE(r.offCurve);
+
+    // ...while any voltage strictly below it is not.
+    OperatingPoint below = at_vmin;
+    below.voltage = std::nextafter(at_vmin.voltage, 0.0);
+    RunResult b = f.machine.run(prog, cfg, below);
+    EXPECT_FALSE(b.reliable);
+    // The unreliable run still reports its (untrustworthy)
+    // numbers, like a real margin-compromised part.
+    EXPECT_GT(b.sensorWatts, 0.0);
+}
+
+TEST(VminModel, GrowsWithFrequencyAndActivity)
+{
+    Fixture f;
+    ChipConfig cfg{1, 1};
+    Program compute = f.computeBound();
+    Program memory = f.memoryBound();
+
+    RunResult lo = f.machine.run(compute, cfg,
+                                 f.machine.operatingPoint(2.0));
+    RunResult hi = f.machine.run(compute, cfg,
+                                 f.machine.operatingPoint(3.5));
+    EXPECT_GT(hi.gtVminVolts, lo.gtVminVolts);
+
+    // The high-IPC kernel needs more margin than the stalled one
+    // at the same point.
+    RunResult busy = f.machine.run(compute, cfg,
+                                   f.machine.operatingPoint());
+    RunResult stalled = f.machine.run(memory, cfg,
+                                      f.machine.operatingPoint());
+    EXPECT_GT(busy.coreIpc, stalled.coreIpc);
+    EXPECT_GT(busy.gtVminVolts, stalled.gtVminVolts);
+}
+
+TEST(VminModel, DefaultCurvePointsAreAlwaysReliable)
+{
+    // The defaults guarantee every on-curve point is reliable —
+    // margin loss is an undervolting phenomenon, not something a
+    // plain freqs sweep can trip over.
+    Fixture f;
+    Program prog = f.computeBound();
+    for (double ghz : {0.5, 2.0, 2.5, 3.0, 3.5, 4.0}) {
+        RunResult r = f.machine.run(
+            prog, ChipConfig{8, 4}, f.machine.operatingPoint(ghz));
+        EXPECT_TRUE(r.reliable) << ghz;
+        EXPECT_LT(r.gtVminVolts, r.voltage) << ghz;
+    }
+}
+
+// ---------------------------------------------------------------
+// Unreliable samples survive round trips flagged
+
+TEST(Undervolt, UnreliableSampleRoundTripsFlagged)
+{
+    Fixture f;
+    Program prog = f.computeBound();
+    // 0.70 V at 3 GHz is always below Vmin (>= 0.72 V).
+    OperatingPoint op = f.machine.operatingPoint();
+    op.voltage = 0.70;
+    Sample s = makeSample(prog.name,
+                          f.machine.run(prog, {1, 1}, op));
+    ASSERT_FALSE(s.reliable);
+    EXPECT_EQ(s.vddVolts, 0.70);
+
+    // Cache text round-trip keeps the flag and the voltage.
+    Sample t;
+    ASSERT_TRUE(sampleFromText(sampleToText(s), t));
+    EXPECT_FALSE(t.reliable);
+    EXPECT_EQ(t.vddVolts, 0.70);
+
+    // Exports carry the flag: CSV as a 0/1 column, JSON as a bool.
+    std::ostringstream csv;
+    exportSamplesCsv(csv, {s});
+    EXPECT_NE(csv.str().find(",vdd_volts,reliable"),
+              std::string::npos);
+    EXPECT_NE(csv.str().find(",0.69999999999999996,0\n"),
+              std::string::npos);
+    std::ostringstream json;
+    exportSamplesJson(json, {s});
+    EXPECT_NE(json.str().find("\"reliable\": false"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------
+// Undervolt-margin discovery
+
+TEST(Undervolt, FindsSafeMarginAcrossAVddSweep)
+{
+    Fixture f;
+    Program prog = f.computeBound();
+    CampaignSpec spec = measurementSpec(2);
+    // Bracket the hidden Vmin (roughly 0.72-0.80 V at 3 GHz):
+    // clearly below, clearly above, and the nominal curve point.
+    spec.vdds = {0.60, 0.90, 0.95, 1.00};
+    Campaign c(f.machine, spec);
+    auto samples = c.measure({prog}, {ChipConfig{1, 1}});
+    ASSERT_EQ(samples.size(), spec.vdds.size());
+
+    auto margins = findUndervoltMargin(samples);
+    ASSERT_EQ(margins.size(), 1u);
+    const UndervoltMargin &m = margins[0];
+    EXPECT_EQ(m.workload, prog.name);
+    EXPECT_EQ(m.freqGhz, f.machine.clockGhz());
+    EXPECT_EQ(m.pointsProbed, 4u);
+    EXPECT_EQ(m.unreliablePoints, 1u); // 0.60 V is below Vmin
+    EXPECT_EQ(m.nominalVdd, 1.00);
+    EXPECT_EQ(m.safeVdd, 0.90);
+    // Power (== energy at fixed f) drops at the safe point.
+    EXPECT_LT(m.safePowerWatts, m.nominalPowerWatts);
+    EXPECT_GT(m.powerSavedFrac, 0.0);
+    EXPECT_LT(m.powerSavedFrac, 1.0);
+}
+
+TEST(Undervolt, DropsSeriesWithNoReliablePointAndPlaceholders)
+{
+    Sample dead;
+    dead.workload = "w";
+    dead.config = {1, 1};
+    dead.freqGhz = 3.0;
+    dead.instrGips = 5.0;
+    dead.powerWatts = 50.0;
+    dead.vddVolts = 0.6;
+    dead.reliable = false;
+    Sample placeholder;
+    placeholder.workload = "p";
+    placeholder.config = {1, 1};
+    placeholder.instrGips = 0.0;
+    EXPECT_TRUE(findUndervoltMargin({dead, placeholder}).empty());
+
+    // One reliable point makes a (degenerate) margin: safe ==
+    // nominal, nothing saved.
+    Sample ok = dead;
+    ok.vddVolts = 1.0;
+    ok.reliable = true;
+    auto margins = findUndervoltMargin({dead, placeholder, ok});
+    ASSERT_EQ(margins.size(), 1u);
+    EXPECT_EQ(margins[0].pointsProbed, 2u);
+    EXPECT_EQ(margins[0].unreliablePoints, 1u);
+    EXPECT_EQ(margins[0].safeVdd, 1.0);
+    EXPECT_EQ(margins[0].powerSavedFrac, 0.0);
+}
+
+TEST(Undervolt, GroupsPerFrequencySeries)
+{
+    // The same (workload, config) at two frequencies is two
+    // series: margins are per operating point.
+    Sample a;
+    a.workload = "w";
+    a.config = {1, 1};
+    a.freqGhz = 2.0;
+    a.instrGips = 5.0;
+    a.powerWatts = 40.0;
+    a.vddVolts = 0.92;
+    Sample a2 = a;
+    a2.vddVolts = 0.85;
+    a2.powerWatts = 35.0;
+    Sample b = a;
+    b.freqGhz = 3.0;
+    b.vddVolts = 1.0;
+    b.powerWatts = 60.0;
+    auto margins = findUndervoltMargin({a, a2, b});
+    ASSERT_EQ(margins.size(), 2u);
+    EXPECT_EQ(margins[0].freqGhz, 2.0);
+    EXPECT_EQ(margins[0].safeVdd, 0.85);
+    EXPECT_EQ(margins[0].nominalVdd, 0.92);
+    EXPECT_EQ(margins[1].freqGhz, 3.0);
+}
+
+// ---------------------------------------------------------------
+// Per-phase DVFS schedules
+
+TEST(Schedule, BeatsEveryStaticPointOnMixedPhases)
+{
+    // The acceptance bar: a workload mixing compute- and
+    // memory-bound phases schedules strictly better (whole-run
+    // EDP) than every static operating point of the sweep. One
+    // core keeps the memory kernel latency-bound (time flat in f,
+    // so low f is nearly free there); a lean idle floor keeps the
+    // single-core compute/memory power contrast above the phase
+    // segmentation threshold.
+    Fixture f;
+    GroundTruthParams gt;
+    gt.idleWatts = 5.0;
+    Machine machine(f.arch.isa(), gt);
+    Program compute = f.computeBound();
+    Program memory = f.memoryBound();
+    PhasedWorkload w;
+    w.name = "mixed";
+    w.phases = {{&compute, 40.0}, {&memory, 40.0},
+                {&compute, 40.0}};
+    std::vector<double> freqs = {2.0, 2.5, 3.0, 3.5};
+    DvfsSchedule sched = scheduleFromPhases(
+        machine, w, ChipConfig{1, 1}, freqs);
+
+    ASSERT_EQ(sched.staticPoints.size(), freqs.size());
+    EXPECT_GT(sched.edp, 0.0);
+    for (size_t k = 0; k < sched.staticPoints.size(); ++k)
+        EXPECT_LT(sched.edp, sched.staticPoints[k].edp) << k;
+    EXPECT_GT(sched.edpGainVsBestStatic, 0.0);
+
+    // The schedule's phase assignments split: the memory phase
+    // runs no faster than the compute phases.
+    ASSERT_GE(sched.phases.size(), 2u);
+    double min_f = sched.phases[0].op.freqGhz;
+    double max_f = min_f;
+    for (const auto &p : sched.phases) {
+        min_f = std::min(min_f, p.op.freqGhz);
+        max_f = std::max(max_f, p.op.freqGhz);
+    }
+    EXPECT_LT(min_f, max_f);
+    // Totals are consistent.
+    double t = 0.0, e = 0.0;
+    for (const auto &p : sched.phases) {
+        t += p.seconds;
+        e += p.energyJ;
+    }
+    EXPECT_DOUBLE_EQ(sched.seconds, t);
+    EXPECT_DOUBLE_EQ(sched.energyJ, e);
+    EXPECT_DOUBLE_EQ(sched.edp, e * t);
+}
+
+TEST(Schedule, UniformWorkloadMatchesBestStatic)
+{
+    // A single-kernel workload has nothing to schedule: the
+    // per-phase assignment degenerates to the best static point.
+    Fixture f;
+    Program compute = f.computeBound();
+    PhasedWorkload w;
+    w.name = "uniform";
+    w.phases = {{&compute, 60.0}};
+    DvfsSchedule sched = scheduleFromPhases(
+        f.machine, w, ChipConfig{1, 1}, {2.0, 3.0, 3.5});
+    EXPECT_DOUBLE_EQ(
+        sched.edp, sched.staticPoints[sched.bestStatic].edp);
+    EXPECT_EQ(sched.edpGainVsBestStatic, 0.0);
+}
+
+TEST(ScheduleDeathTest, SinglePointSweepIsFatal)
+{
+    Fixture f;
+    Program compute = f.computeBound();
+    PhasedWorkload w;
+    w.name = "u";
+    w.phases = {{&compute, 10.0}};
+    EXPECT_EXIT(scheduleFromPhases(f.machine, w, ChipConfig{1, 1},
+                                   {3.0}),
+                testing::ExitedWithCode(1),
+                "need >= 2 swept frequencies");
+}

@@ -1,0 +1,50 @@
+#!/bin/sh
+# Docs/flags consistency gate: every `--flag` the docs mention must
+# exist in some tool's --help output, so renaming or removing an
+# option without updating tools/README.md / docs/MODEL.md fails CI
+# instead of shipping stale walkthroughs.
+#
+# Usage: tools/check_docs_flags.sh [build-dir]
+# Exits non-zero listing the unknown flags, if any.
+set -eu
+
+build_dir="${1:-build}"
+repo_root="$(dirname "$0")/.."
+docs="$repo_root/tools/README.md $repo_root/docs/MODEL.md"
+
+# Flags that belong to third-party tools quoted in the docs'
+# shell snippets, not to ours.
+allow="--build"
+
+for doc in $docs; do
+    [ -f "$doc" ] || { echo "missing doc: $doc" >&2; exit 1; }
+done
+
+found_tool=0
+help_all=""
+for tool in "$build_dir"/mprobe_*; do
+    [ -x "$tool" ] || continue
+    # Skip non-binaries a glob might pick up (e.g. *.d files).
+    case "$tool" in *.*) continue ;; esac
+    found_tool=1
+    help_all="$help_all
+$("$tool" --help 2>&1)"
+done
+if [ "$found_tool" -eq 0 ]; then
+    echo "no mprobe_* tools in '$build_dir' — build them first" >&2
+    exit 1
+fi
+
+status=0
+# shellcheck disable=SC2086
+for flag in $(grep -ohE -- '--[A-Za-z][A-Za-z0-9-]*' $docs |
+              sort -u); do
+    case " $allow " in *" $flag "*) continue ;; esac
+    if ! printf '%s\n' "$help_all" | grep -q -- "$flag"; then
+        echo "docs mention '$flag' but no tool's --help knows it" >&2
+        status=1
+    fi
+done
+
+[ "$status" -eq 0 ] && echo "docs flags check: OK"
+exit "$status"

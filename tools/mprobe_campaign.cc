@@ -38,13 +38,17 @@ using namespace mprobe;
 namespace
 {
 
-/** "4-2" or "4-2 @2.5GHz" deployment label of a manifest entry. */
+/** "4-2", "4-2 @2.5GHz" or "4-2 @2.5GHz @0.92V" deployment label
+ * of a manifest entry. */
 std::string
 entryPoint(const ManifestEntry &e)
 {
-    if (e.freqGhz <= 0.0)
-        return e.config.label();
-    return cat(e.config.label(), " @", e.freqGhz, "GHz");
+    std::string label = e.config.label();
+    if (e.freqGhz > 0.0)
+        label = cat(label, " @", e.freqGhz, "GHz");
+    if (e.vdd > 0.0)
+        label = cat(label, " @", e.vdd, "V");
+    return label;
 }
 
 /**
@@ -384,6 +388,12 @@ main(int argc, char **argv)
                    "(comma-separated, e.g. 2.0,2.5,3.0,3.5); "
                    "every (workload, config) pair is measured at "
                    "every listed operating point");
+    args.addOption("vdds", "",
+                   "override: undervolting sweep in volts "
+                   "(comma-separated, e.g. 0.85,0.9,0.95,1.0), "
+                   "cross-producted with the frequency axis; "
+                   "points below a workload's Vmin come back "
+                   "flagged unreliable");
     args.addOption("threads", "",
                    "override: worker threads (0 = one per "
                    "hardware thread)");
@@ -475,6 +485,8 @@ main(int argc, char **argv)
             parseConfigList(args.get("configs"), "--configs");
     if (!args.get("freqs").empty())
         spec.freqs = parseFreqList(args.get("freqs"), "--freqs");
+    if (!args.get("vdds").empty())
+        spec.vdds = parseVddList(args.get("vdds"), "--vdds");
     if (!args.get("threads").empty())
         spec.threads = static_cast<int>(args.getInt("threads"));
     if (!args.get("cache-dir").empty())
