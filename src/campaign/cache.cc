@@ -180,9 +180,11 @@ ResultCache::lookup(uint64_t key, Sample &out)
     // An entry that exists but failed to parse deserves a warning
     // (a plainly absent one does not).
     std::error_code ec;
-    if (fs::exists(pathOf(key), ec))
+    if (fs::exists(pathOf(key), ec)) {
+        ++nCorrupt;
         warn(cat("result cache: corrupt entry ", pathOf(key),
                  " ignored"));
+    }
     ++nMisses;
     return false;
 }

@@ -93,6 +93,9 @@ class ResultCache
     /**@{*/
     size_t hits() const { return nHits.load(); }
     size_t misses() const { return nMisses.load(); }
+    /** Entries that existed on disk but failed to parse (each also
+     * counted as a miss). */
+    size_t corrupt() const { return nCorrupt.load(); }
     /**@}*/
 
     /** Path of a key's sample file (tests/debugging). */
@@ -102,6 +105,7 @@ class ResultCache
     std::string dir;
     std::atomic<size_t> nHits{0};
     std::atomic<size_t> nMisses{0};
+    std::atomic<size_t> nCorrupt{0};
 };
 
 } // namespace mprobe

@@ -19,6 +19,9 @@
 #include "campaign/manifest.hh"
 #include "campaign/queue.hh"
 #include "microprobe/bootstrap.hh"
+#include "obs/metrics.hh"
+#include "obs/telemetry.hh"
+#include "obs/trace.hh"
 #include "util/hash.hh"
 #include "util/logging.hh"
 #include "workloads/daxpy.hh"
@@ -162,6 +165,17 @@ jobsAt(const std::vector<CampaignJob> &jobs,
     for (size_t i : indices)
         out.push_back(jobs[i]);
     return out;
+}
+
+/** Per-job wall-seconds histogram, registered once (the registry
+ * lookup locks; the hot loop must only touch atomics). Buckets span
+ * cache hits (µs) through heavy cold simulations. */
+obs::Histogram &
+jobHistogram()
+{
+    static obs::Histogram &h = obs::histogram(
+        "job_seconds", {0.0001, 0.001, 0.01, 0.1, 1.0, 10.0});
+    return h;
 }
 
 } // namespace
@@ -466,30 +480,41 @@ Campaign::runJobs(const std::vector<CampaignWorkload> &workloads,
         for (size_t i : groups[exec_order[q]]) {
             const CampaignJob &job = jobs[i];
             const auto jt0 = clock::now();
-            Sample s;
-            if (cache.lookup(job.key, s)) {
-                out.samples[i] = std::move(s);
-                out.cached[i] = 1;
-                ++cached;
-            } else {
-                const Program &prog =
-                    workloads[job.workload].program;
-                // The measurement salt derives from the job's content
-                // hash, never from scheduling, so repeated sensor
-                // noise matches the serial reference run and the cache
-                // exactly.
-                uint64_t salt = hashCombine(job.key, 0x5a17ull);
-                if (!batch)
-                    batch.reset(new Machine::Batch(machine, prog));
-                out.samples[i] = makeSample(
-                    prog.name,
-                    batch->run(job.config,
-                               jobPoint(machine, job), salt));
-                cache.store(job.key, out.samples[i]);
+            {
+                obs::TraceSpan jspan("campaign.job");
+                Sample s;
+                if (cache.lookup(job.key, s)) {
+                    obs::counter("cache_hits").add();
+                    out.samples[i] = std::move(s);
+                    out.cached[i] = 1;
+                    ++cached;
+                } else {
+                    obs::counter("cache_misses").add();
+                    const Program &prog =
+                        workloads[job.workload].program;
+                    // The measurement salt derives from the job's
+                    // content hash, never from scheduling, so
+                    // repeated sensor noise matches the serial
+                    // reference run and the cache exactly.
+                    uint64_t salt = hashCombine(job.key, 0x5a17ull);
+                    if (!batch)
+                        batch.reset(
+                            new Machine::Batch(machine, prog));
+                    out.samples[i] = makeSample(
+                        prog.name,
+                        batch->run(job.config,
+                                   jobPoint(machine, job), salt));
+                    cache.store(job.key, out.samples[i]);
+                }
+                out.seconds[i] =
+                    std::chrono::duration<double>(clock::now() -
+                                                  jt0)
+                        .count();
+                jobHistogram().observe(out.seconds[i]);
+                jspan.note("cached", out.cached[i]);
+                jspan.note("cost_est", job.cost);
+                jspan.note("seconds", out.seconds[i]);
             }
-            out.seconds[i] =
-                std::chrono::duration<double>(clock::now() - jt0)
-                    .count();
             (out.cached[i] ? cached_cost_milli : cold_cost_milli)
                 .fetch_add(static_cast<int64_t>(
                     std::llround(job.cost * 1000.0)));
@@ -576,6 +601,32 @@ Campaign::runClaimed(
     out.seconds.assign(jobs.size(), 0.0);
     out.cached.assign(jobs.size(), 0);
 
+    // Fleet telemetry: this worker's live snapshot, published
+    // atomically next to its claim files so peers and status
+    // observers can aggregate the fleet without talking to it.
+    // Strictly observability — nothing reads it back into job
+    // selection or results.
+    auto publishTelemetry = [&](const ClaimDir &cd,
+                                double elapsed_s,
+                                size_t jobs_run) {
+        obs::WorkerTelemetry t;
+        t.worker = cd.workerId();
+        t.jobs = jobs_run;
+        t.hits = cache.hits();
+        t.acquired = cd.acquired();
+        t.stolen = cd.stolen();
+        t.seconds = elapsed_s;
+        t.jobsPerSecond = elapsed_s > 0.0
+                              ? static_cast<double>(jobs_run) /
+                                    elapsed_s
+                              : 0.0;
+        size_t looked = cache.hits() + cache.misses();
+        t.hitRate = looked > 0 ? static_cast<double>(cache.hits()) /
+                                     static_cast<double>(looked)
+                               : 0.0;
+        obs::writeWorkerTelemetry(spec.cacheDir, t);
+    };
+
     // Every worker thread loops pull -> run -> complete until the
     // pool is drained; parallelFor's index is just a worker id.
     // Unlike runJobs there is no per-index slot discipline — a
@@ -596,25 +647,36 @@ Campaign::runClaimed(
             }
             const CampaignJob &job = jobs[i];
             const auto jt0 = clock::now();
-            Sample s;
-            if (cache.lookup(job.key, s)) {
-                // Rare but possible: a peer cached the job between
-                // our queue scan and the claim acquisition.
-                out.samples[i] = std::move(s);
-                out.cached[i] = 1;
-            } else {
-                const Program &prog =
-                    workloads[job.workload].program;
-                uint64_t salt = hashCombine(job.key, 0x5a17ull);
-                out.samples[i] = makeSample(
-                    prog.name,
-                    machine.run(prog, job.config,
-                                jobPoint(machine, job), salt));
-                cache.store(job.key, out.samples[i]);
+            {
+                obs::TraceSpan jspan("campaign.job");
+                Sample s;
+                if (cache.lookup(job.key, s)) {
+                    // Rare but possible: a peer cached the job
+                    // between our queue scan and the claim
+                    // acquisition.
+                    obs::counter("cache_hits").add();
+                    out.samples[i] = std::move(s);
+                    out.cached[i] = 1;
+                } else {
+                    obs::counter("cache_misses").add();
+                    const Program &prog =
+                        workloads[job.workload].program;
+                    uint64_t salt = hashCombine(job.key, 0x5a17ull);
+                    out.samples[i] = makeSample(
+                        prog.name,
+                        machine.run(prog, job.config,
+                                    jobPoint(machine, job), salt));
+                    cache.store(job.key, out.samples[i]);
+                }
+                out.seconds[i] =
+                    std::chrono::duration<double>(clock::now() -
+                                                  jt0)
+                        .count();
+                jobHistogram().observe(out.seconds[i]);
+                jspan.note("cached", out.cached[i]);
+                jspan.note("cost_est", job.cost);
+                jspan.note("seconds", out.seconds[i]);
             }
-            out.seconds[i] =
-                std::chrono::duration<double>(clock::now() - jt0)
-                    .count();
             // Store first, release second: once the claim is gone
             // the job must already be skippable via the cache.
             queue.complete(i);
@@ -635,6 +697,13 @@ Campaign::runClaimed(
                            " taken by peers, ", queue.pending(),
                            " of ", jobs.size(), " pool jobs open ",
                            "(", claimdir.stolen(), " stolen)"));
+                // The progress reporter doubles as the telemetry
+                // heartbeat: the CAS elected exactly one thread,
+                // and atomicWriteFile keeps readers tear-free.
+                publishTelemetry(claimdir,
+                                 static_cast<double>(elapsed) /
+                                     1000.0,
+                                 k);
             }
         }
     };
@@ -675,6 +744,15 @@ Campaign::runClaimed(
                ran.load(), " of ", jobs.size(), " jobs (",
                claimdir.stolen(), " stolen from expired claims, ",
                queue.completedByPeers(), " measured by peers)"));
+    // Final telemetry snapshot: the worker's last word stays on
+    // disk (age tells observers it has finished or died).
+    publishTelemetry(claimdir,
+                     std::chrono::duration<double>(clock::now() -
+                                                   t0)
+                         .count(),
+                     ran.load());
+    out.claimsAcquired = claimdir.acquired();
+    out.claimsStolen = claimdir.stolen();
     return out;
 }
 
@@ -701,12 +779,22 @@ Campaign::run(Architecture &arch)
     using clock = std::chrono::steady_clock;
     CampaignResult res;
     auto t0 = clock::now();
-    res.workloads = expandWorkloads(arch);
+    {
+        obs::TraceSpan span("campaign.generate");
+        res.workloads = expandWorkloads(arch);
+        span.note("workloads",
+                  static_cast<double>(res.workloads.size()));
+    }
     auto t1 = clock::now();
-    std::vector<CampaignJob> all_jobs = expandJobs(
-        res.workloads,
-        std::vector<std::vector<ChipConfig>>(res.workloads.size(),
-                                             spec.configs));
+    std::vector<CampaignJob> all_jobs;
+    {
+        obs::TraceSpan span("campaign.expand");
+        all_jobs = expandJobs(
+            res.workloads,
+            std::vector<std::vector<ChipConfig>>(
+                res.workloads.size(), spec.configs));
+        span.note("jobs", static_cast<double>(all_jobs.size()));
+    }
     res.totalJobs = all_jobs.size();
     // The manifest is persisted before measurement starts — always
     // the *full* job list, so an interrupted or sharded run can
@@ -720,20 +808,36 @@ Campaign::run(Architecture &arch)
     else
         res.jobs = std::move(all_jobs);
     size_t hits0 = cache.hits(), misses0 = cache.misses();
-    JobRunOutcome outcome =
-        spec.serve ? runClaimed(res.workloads, res.jobs)
-                   : runJobs(res.workloads, res.jobs,
-                             res.totalJobs);
+    size_t corrupt0 = cache.corrupt();
+    JobRunOutcome outcome;
+    {
+        obs::TraceSpan span("campaign.measure");
+        outcome = spec.serve
+                      ? runClaimed(res.workloads, res.jobs)
+                      : runJobs(res.workloads, res.jobs,
+                                res.totalJobs);
+        span.note("jobs", static_cast<double>(res.jobs.size()));
+    }
     res.samples = std::move(outcome.samples);
     res.jobSeconds = std::move(outcome.seconds);
     res.jobCached = std::move(outcome.cached);
     auto t2 = clock::now();
     res.cacheHits = cache.hits() - hits0;
     res.cacheMisses = cache.misses() - misses0;
+    res.cacheCorrupt = cache.corrupt() - corrupt0;
+    res.claimsAcquired = outcome.claimsAcquired;
+    res.claimsStolen = outcome.claimsStolen;
+    // The cache cannot count corrupt entries into the registry
+    // itself (cache.cc is inside the obs-isolation boundary), so
+    // the engine syncs the delta here.
+    if (res.cacheCorrupt > 0)
+        obs::counter("cache_corrupt").add(res.cacheCorrupt);
     res.generationSeconds =
         std::chrono::duration<double>(t1 - t0).count();
     res.measureSeconds =
         std::chrono::duration<double>(t2 - t1).count();
+    obs::gauge("generation_seconds").set(res.generationSeconds);
+    obs::gauge("measure_seconds").set(res.measureSeconds);
     inform(cat("campaign: done; cache ", res.cacheHits, " hits / ",
                res.cacheMisses, " misses"));
     return res;

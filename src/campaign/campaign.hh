@@ -92,6 +92,13 @@ struct CampaignResult
     /** Cache statistics of this run. */
     size_t cacheHits = 0;
     size_t cacheMisses = 0;
+    /** Cache entries that existed but failed to parse (each also a
+     * miss) — the post-hoc fleet-incident signal --metrics-json
+     * reports. */
+    size_t cacheCorrupt = 0;
+    /** Claim-pool statistics of this run (zero outside --serve). */
+    size_t claimsAcquired = 0;
+    size_t claimsStolen = 0;
     /** Measured wall seconds per executed job (parallel to jobs;
      * near-zero for cache hits) and whether each was a hit — the
      * raw material `mprobe_campaign --calibrate` refits the
@@ -279,6 +286,7 @@ class Campaign
     /** Cache statistics accumulated across run()/measure() calls. */
     size_t cacheHits() const { return cache.hits(); }
     size_t cacheMisses() const { return cache.misses(); }
+    size_t cacheCorrupt() const { return cache.corrupt(); }
 
     const CampaignSpec &specRef() const { return spec; }
 
@@ -307,6 +315,9 @@ class Campaign
         std::vector<Sample> samples;
         std::vector<double> seconds;
         std::vector<char> cached;
+        /** Claim-pool statistics (runClaimed only). */
+        size_t claimsAcquired = 0;
+        size_t claimsStolen = 0;
     };
 
     /**

@@ -15,6 +15,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "util/logging.hh"
 #include "util/str.hh"
 
@@ -120,8 +122,12 @@ ClaimDir::tryAcquire(uint64_t key)
             return false;
     }
     ++nAcquired;
-    if (stole)
+    obs::counter("claims_acquired").add();
+    obs::traceInstant(stole ? "claim.steal" : "claim.acquire");
+    if (stole) {
         ++nStolen;
+        obs::counter("claims_stolen").add();
+    }
     {
         MutexLock lock(heldMutex);
         held.insert(key);
@@ -157,6 +163,9 @@ ClaimDir::heartbeatHeld()
         MutexLock lock(heldMutex);
         keys.assign(held.begin(), held.end());
     }
+    if (!keys.empty())
+        obs::traceInstant("claim.heartbeat", "held",
+                          static_cast<double>(keys.size()));
     for (uint64_t key : keys) {
         std::error_code ec;
         fs::last_write_time(pathOf(key),

@@ -21,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace.hh"
 #include "util/logging.hh"
 #include "util/thread_annotations.hh"
 
@@ -70,9 +71,15 @@ parallelFor(int threads, size_t n,
             const std::function<void(size_t)> &fn,
             const char *what = nullptr)
 {
+    // Task slices share one literal name per call site ("task" when
+    // unlabeled): the trace viewer groups them; the span arg holds
+    // the index.
+    const char *slice = what ? what : "task";
     if (threads <= 1 || n <= 1) {
         for (size_t i = 0; i < n; ++i) {
             try {
+                obs::TraceSpan span(slice);
+                span.note("index", static_cast<double>(i));
                 fn(i);
             } catch (...) {
                 // The serial path abandons indices i+1..n-1 the
@@ -111,7 +118,11 @@ parallelFor(int threads, size_t n,
             if (i >= n)
                 return;
             try {
-                fn(i);
+                {
+                    obs::TraceSpan span(slice);
+                    span.note("index", static_cast<double>(i));
+                    fn(i);
+                }
                 completed.fetch_add(1);
             } catch (...) {
                 thrown.fetch_add(1);

@@ -204,6 +204,61 @@ unorderedRule(const std::string &path, const LintSource &src,
 }
 
 // ----------------------------------------------------------------
+// Rule: obs-isolation — telemetry can never leak into results.
+
+bool
+obsIsolationScope(const std::string &path)
+{
+    // The byte-identity file set proper: serialization, exports,
+    // manifests, specs and the hasher. Engine/orchestration files
+    // (campaign.cc, claims, service, machine) MAY instrument with
+    // obs:: — their obs calls are off the result path by the obs
+    // API contract — but the files that *format result bytes* must
+    // not even reference the namespace, so a trace or metric value
+    // cannot possibly reach an export, cache entry or key.
+    static const char *const files[] = {
+        "src/campaign/export.", "src/campaign/cache.",
+        "src/campaign/manifest.", "src/campaign/spec.",
+        "src/util/hash.",
+    };
+    for (const char *f : files)
+        if (pathStartsWith(path, f))
+            return true;
+    return false;
+}
+
+void
+obsIsolationRule(const std::string &path, const LintSource &src,
+                 std::vector<LintFinding> &out)
+{
+    if (!obsIsolationScope(path))
+        return;
+    const auto &toks = src.tokens;
+    for (size_t i = 0; i + 2 < toks.size(); ++i) {
+        if (toks[i].kind != LintToken::Kind::Identifier ||
+            toks[i].text != "obs")
+            continue;
+        if (toks[i + 1].kind != LintToken::Kind::Punct ||
+            toks[i + 1].text != ":" ||
+            toks[i + 2].kind != LintToken::Kind::Punct ||
+            toks[i + 2].text != ":")
+            continue;
+        // Deliberately no exemption tag: unlike wall clocks (which
+        // have legitimate progress-only uses in these files),
+        // there is no valid reason for serialization code to touch
+        // the observability layer.
+        out.push_back(
+            {path, toks[i].line, "obs-isolation",
+             "'obs::' in the byte-identity file set: "
+             "serialization, exports and hashing must not "
+             "reference the observability layer, so telemetry can "
+             "never leak into results. Record the plain count "
+             "here and sync it into the registry from the engine "
+             "(see ResultCache::corrupt())"});
+    }
+}
+
+// ----------------------------------------------------------------
 // Rule: hot-path-alloc — arena discipline inside
 // simulateCoreDecoded.
 
@@ -518,6 +573,7 @@ lintSourceText(const std::string &path, const std::string &text)
     LintSource src = lintTokenize(text);
     nondeterminismRule(path, src, out);
     unorderedRule(path, src, out);
+    obsIsolationRule(path, src, out);
     hotPathRule(path, src, out);
     return out;
 }

@@ -20,6 +20,11 @@
  *    export/cache/manifest/fingerprint file set — hash-table
  *    iteration order would leak into byte-compared artifacts.
  *    Escape hatch: `// lint: unordered-ok(<reason>)`.
+ *  - `obs-isolation`: no `obs::` reference in the byte-identity
+ *    file set (export/cache/manifest/spec/hash) — the
+ *    observability layer (src/obs/: traces, metrics, telemetry)
+ *    must never be able to leak into results. No escape hatch;
+ *    count plainly in place and sync from the engine instead.
  *  - `hot-path-alloc`: no heap allocation (new/make_unique/malloc/
  *    growing containers) inside simulateCoreDecoded in
  *    src/sim/core.cc — the PR-7 arena discipline. Escape hatch:

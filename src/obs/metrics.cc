@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Metrics-registry implementation.
+ */
+
+#include "obs/metrics.hh"
+
+#include <map>
+#include <ostream>
+
+#include "util/logging.hh"
+#include "util/thread_annotations.hh"
+
+namespace mprobe
+{
+namespace obs
+{
+
+Histogram::Histogram(std::vector<double> bucket_bounds)
+    : bounds(std::move(bucket_bounds)),
+      counts(new std::atomic<uint64_t>[bounds.size() + 1])
+{
+    for (size_t i = 0; i + 1 < bounds.size(); ++i)
+        if (!(bounds[i] < bounds[i + 1]))
+            fatal("obs: histogram bucket bounds must ascend");
+    for (size_t i = 0; i <= bounds.size(); ++i)
+        counts[i].store(0);
+}
+
+void
+Histogram::observe(double value)
+{
+    size_t b = 0;
+    while (b < bounds.size() && value > bounds[b])
+        ++b;
+    counts[b].fetch_add(1, std::memory_order_relaxed);
+    n.fetch_add(1, std::memory_order_relaxed);
+    double cur = total.load();
+    while (!total.compare_exchange_weak(cur, cur + value)) {
+    }
+}
+
+std::vector<uint64_t>
+Histogram::bucketCounts() const
+{
+    std::vector<uint64_t> out(bounds.size() + 1);
+    for (size_t i = 0; i <= bounds.size(); ++i)
+        out[i] = counts[i].load();
+    return out;
+}
+
+void
+Histogram::reset()
+{
+    for (size_t i = 0; i <= bounds.size(); ++i)
+        counts[i].store(0);
+    n.store(0);
+    total.store(0.0);
+}
+
+namespace
+{
+
+/** The process-wide registry. std::map keeps export order
+ * deterministic; the lock covers registration only — recorded
+ * values live in the metrics' own atomics. */
+struct MetricsRegistry
+{
+    Mutex mutex;
+    std::map<std::string, std::unique_ptr<Counter>> counters
+        GUARDED_BY(mutex);
+    std::map<std::string, std::unique_ptr<Gauge>> gauges
+        GUARDED_BY(mutex);
+    std::map<std::string, std::unique_ptr<Histogram>> histograms
+        GUARDED_BY(mutex);
+};
+
+MetricsRegistry &
+metricsRegistry()
+{
+    static MetricsRegistry *r = new MetricsRegistry;
+    return *r;
+}
+
+} // namespace
+
+Counter &
+counter(const std::string &name)
+{
+    MetricsRegistry &reg = metricsRegistry();
+    MutexLock lock(reg.mutex);
+    auto &slot = reg.counters[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+gauge(const std::string &name)
+{
+    MetricsRegistry &reg = metricsRegistry();
+    MutexLock lock(reg.mutex);
+    auto &slot = reg.gauges[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+histogram(const std::string &name,
+          std::vector<double> bucket_bounds)
+{
+    MetricsRegistry &reg = metricsRegistry();
+    MutexLock lock(reg.mutex);
+    auto &slot = reg.histograms[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>(
+            std::move(bucket_bounds));
+    return *slot;
+}
+
+void
+metricsWriteJson(std::ostream &os, const std::string &indent)
+{
+    MetricsRegistry &reg = metricsRegistry();
+    MutexLock lock(reg.mutex);
+    os << "{\n" << indent << "  \"counters\": {";
+    bool first = true;
+    for (const auto &[name, c] : reg.counters) {
+        os << (first ? "\n" : ",\n") << indent << "    \"" << name
+           << "\": " << c->value();
+        first = false;
+    }
+    os << (first ? "" : cat("\n", indent, "  ").c_str()) << "},\n"
+       << indent << "  \"gauges\": {";
+    first = true;
+    for (const auto &[name, g] : reg.gauges) {
+        os << (first ? "\n" : ",\n") << indent << "    \"" << name
+           << "\": " << g->value();
+        first = false;
+    }
+    os << (first ? "" : cat("\n", indent, "  ").c_str()) << "},\n"
+       << indent << "  \"histograms\": {";
+    first = true;
+    for (const auto &[name, h] : reg.histograms) {
+        os << (first ? "\n" : ",\n") << indent << "    \"" << name
+           << "\": {\"bounds\": [";
+        const auto &bounds = h->bucketBounds();
+        for (size_t i = 0; i < bounds.size(); ++i)
+            os << (i ? ", " : "") << bounds[i];
+        os << "], \"counts\": [";
+        std::vector<uint64_t> counts = h->bucketCounts();
+        for (size_t i = 0; i < counts.size(); ++i)
+            os << (i ? ", " : "") << counts[i];
+        os << "], \"count\": " << h->count()
+           << ", \"sum\": " << h->sum() << "}";
+        first = false;
+    }
+    os << (first ? "" : cat("\n", indent, "  ").c_str()) << "}\n"
+       << indent << "}";
+}
+
+void
+metricsReset()
+{
+    MetricsRegistry &reg = metricsRegistry();
+    MutexLock lock(reg.mutex);
+    for (auto &[name, c] : reg.counters) {
+        (void)name;
+        c->reset();
+    }
+    for (auto &[name, g] : reg.gauges) {
+        (void)name;
+        g->set(0.0);
+    }
+    for (auto &[name, h] : reg.histograms) {
+        (void)name;
+        h->reset();
+    }
+}
+
+} // namespace obs
+} // namespace mprobe

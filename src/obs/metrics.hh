@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Metrics registry: named counters, gauges and fixed-bucket
+ * histograms, exported deterministically ordered.
+ *
+ * The trace recorder (obs/trace.hh) answers "where did this run's
+ * wall time go"; the registry answers "how did the machinery behave
+ * in aggregate" — cache hit/miss/corrupt counts, batch-memo reuse,
+ * claim steals, arena high-water bytes, per-stage wall seconds —
+ * and exports them into the extended `--metrics-json` and the
+ * service's per-campaign status.json.
+ *
+ * Hot-path discipline: instruments register their metric once
+ * (function-local `static Counter &c = obs::counter("...")`;
+ * registration takes a lock and may allocate) and then touch only
+ * lock-free atomics. Histograms fix their bucket bounds at
+ * registration, so observation never allocates either.
+ *
+ * Export order is deterministic (name-sorted per section), so two
+ * runs of the same build produce structurally identical JSON —
+ * only the measured values differ. Like all of obs/, none of this
+ * may be referenced from the byte-identity file set; the
+ * `obs-isolation` lint rule enforces it.
+ */
+
+#ifndef OBS_METRICS_HH
+#define OBS_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mprobe
+{
+namespace obs
+{
+
+/** Monotone event count. */
+class Counter
+{
+  public:
+    void
+    add(uint64_t delta = 1)
+    {
+        v.fetch_add(delta, std::memory_order_relaxed);
+    }
+    uint64_t value() const { return v.load(); }
+    void reset() { v.store(0); }
+
+  private:
+    std::atomic<uint64_t> v{0};
+};
+
+/** Last-write-wins level; max() ratchets (high-water marks). */
+class Gauge
+{
+  public:
+    void set(double value) { v.store(value); }
+    /** Raise to @p value when it exceeds the current level. */
+    void
+    max(double value)
+    {
+        double cur = v.load();
+        while (value > cur &&
+               !v.compare_exchange_weak(cur, value)) {
+        }
+    }
+    double value() const { return v.load(); }
+
+  private:
+    std::atomic<double> v{0.0};
+};
+
+/**
+ * Fixed-bucket histogram: counts[i] holds observations <=
+ * bounds[i], the final slot the overflow. Bounds are fixed at
+ * registration; observe() is a linear scan plus one atomic add.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::vector<double> bucket_bounds);
+
+    void observe(double value);
+
+    const std::vector<double> &bucketBounds() const
+    {
+        return bounds;
+    }
+    /** Bucket counts, bounds.size() + 1 entries. */
+    std::vector<uint64_t> bucketCounts() const;
+    uint64_t count() const { return n.load(); }
+    double sum() const { return total.load(); }
+    /** Zero every bucket/count/sum (bounds persist). */
+    void reset();
+
+  private:
+    std::vector<double> bounds;
+    std::unique_ptr<std::atomic<uint64_t>[]> counts;
+    std::atomic<uint64_t> n{0};
+    std::atomic<double> total{0.0};
+};
+
+/** Look up (registering on first use) the named metric. References
+ * stay valid for the process lifetime. */
+Counter &counter(const std::string &name);
+Gauge &gauge(const std::string &name);
+/** @p bucket_bounds must be ascending; a re-registration under the
+ * same name returns the existing histogram (bounds unchanged). */
+Histogram &histogram(const std::string &name,
+                     std::vector<double> bucket_bounds);
+
+/**
+ * Write the whole registry as one JSON object with "counters",
+ * "gauges" and "histograms" sections, every section name-sorted.
+ * @p indent prefixes each emitted line, so the object embeds
+ * cleanly into an enclosing JSON document. The leading "{" is
+ * written un-indented (callers place it); the closing "}" gets
+ * @p indent.
+ */
+void metricsWriteJson(std::ostream &os,
+                      const std::string &indent = "");
+
+/** Test support: zero every registered metric's values (the
+ * registrations themselves persist). */
+void metricsReset();
+
+} // namespace obs
+} // namespace mprobe
+
+#endif // OBS_METRICS_HH

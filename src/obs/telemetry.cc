@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Worker-telemetry file implementation.
+ */
+
+#include "obs/telemetry.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/fileio.hh"
+#include "util/logging.hh"
+#include "util/str.hh"
+
+namespace mprobe
+{
+namespace obs
+{
+
+namespace fs = std::filesystem;
+
+std::string
+telemetryToText(const WorkerTelemetry &t)
+{
+    std::ostringstream os;
+    os << "mprobe-telemetry v1\n"
+       << "worker " << t.worker << "\n"
+       << "jobs " << t.jobs << "\n"
+       << "hits " << t.hits << "\n"
+       << "acquired " << t.acquired << "\n"
+       << "stolen " << t.stolen << "\n"
+       << "seconds " << t.seconds << "\n"
+       << "jobs_per_second " << t.jobsPerSecond << "\n"
+       << "hit_rate " << t.hitRate << "\n";
+    return os.str();
+}
+
+namespace
+{
+
+bool
+parseUintField(const std::string &value, uint64_t &out)
+{
+    std::istringstream is(value);
+    uint64_t v = 0;
+    if (!(is >> v))
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseDoubleField(const std::string &value, double &out)
+{
+    std::istringstream is(value);
+    double v = 0.0;
+    if (!(is >> v))
+        return false;
+    out = v;
+    return true;
+}
+
+} // namespace
+
+bool
+telemetryFromText(const std::string &text, WorkerTelemetry &out)
+{
+    std::istringstream is(text);
+    std::string line;
+    if (!std::getline(is, line) ||
+        trim(line) != "mprobe-telemetry v1")
+        return false;
+    bool have_worker = false;
+    bool ok = true;
+    while (std::getline(is, line)) {
+        std::string s = trim(line);
+        if (s.empty())
+            continue;
+        size_t sp = s.find(' ');
+        if (sp == std::string::npos)
+            continue; // unknown bare token: ignore
+        std::string key = s.substr(0, sp);
+        std::string value = trim(s.substr(sp + 1));
+        if (key == "worker") {
+            out.worker = value;
+            have_worker = !value.empty();
+        } else if (key == "jobs") {
+            ok = parseUintField(value, out.jobs) && ok;
+        } else if (key == "hits") {
+            ok = parseUintField(value, out.hits) && ok;
+        } else if (key == "acquired") {
+            ok = parseUintField(value, out.acquired) && ok;
+        } else if (key == "stolen") {
+            ok = parseUintField(value, out.stolen) && ok;
+        } else if (key == "seconds") {
+            ok = parseDoubleField(value, out.seconds) && ok;
+        } else if (key == "jobs_per_second") {
+            ok = parseDoubleField(value, out.jobsPerSecond) && ok;
+        } else if (key == "hit_rate") {
+            ok = parseDoubleField(value, out.hitRate) && ok;
+        }
+        // Unknown keys: ignored for forward compatibility.
+    }
+    return ok && have_worker;
+}
+
+std::string
+telemetryPath(const std::string &dir, const std::string &worker)
+{
+    // Worker ids default to host:pid; ':' (and anything else odd a
+    // user-supplied --worker-id may contain) is not portable in
+    // file names. Collisions after sanitizing only make two workers
+    // share a telemetry slot — last writer wins a status line.
+    std::string name;
+    name.reserve(worker.size());
+    for (char c : worker) {
+        bool safe = (c >= 'a' && c <= 'z') ||
+                    (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' ||
+                    c == '_' || c == '.';
+        name.push_back(safe ? c : '_');
+    }
+    if (name.empty())
+        name = "worker";
+    return dir + "/" + name + ".telemetry";
+}
+
+bool
+writeWorkerTelemetry(const std::string &dir,
+                     const WorkerTelemetry &t)
+{
+    if (dir.empty())
+        return false;
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) {
+        warn(cat("telemetry: cannot create directory '", dir,
+                 "': ", ec.message()));
+        return false;
+    }
+    return atomicWriteFile(telemetryPath(dir, t.worker),
+                           telemetryToText(t), "worker telemetry");
+}
+
+std::vector<WorkerTelemetry>
+readFleetTelemetry(const std::string &dir)
+{
+    std::vector<WorkerTelemetry> fleet;
+    if (dir.empty())
+        return fleet;
+    std::error_code ec;
+    fs::directory_iterator it(dir, ec);
+    if (ec)
+        return fleet; // no directory: an empty fleet
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        if (!entry.is_regular_file(ec))
+            continue;
+        const fs::path &p = entry.path();
+        if (p.extension() != ".telemetry")
+            continue;
+        std::ifstream f(p);
+        if (!f)
+            continue;
+        std::ostringstream content;
+        content << f.rdbuf();
+        WorkerTelemetry t;
+        if (!telemetryFromText(content.str(), t))
+            continue; // torn/foreign file: skip, not fatal
+        auto mtime = fs::last_write_time(p, ec);
+        if (!ec) {
+            auto now = fs::file_time_type::clock::now();
+            t.ageSeconds =
+                std::chrono::duration<double>(now - mtime).count();
+            if (t.ageSeconds < 0.0)
+                t.ageSeconds = 0.0; // clock skew on shared dirs
+        }
+        fleet.push_back(std::move(t));
+    }
+    std::sort(fleet.begin(), fleet.end(),
+              [](const WorkerTelemetry &a,
+                 const WorkerTelemetry &b) {
+                  return a.worker < b.worker;
+              });
+    return fleet;
+}
+
+} // namespace obs
+} // namespace mprobe

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Fleet worker telemetry: each `--serve` worker periodically
+ * publishes one small `<worker-id>.telemetry` file next to its
+ * claim files; any observer (`mprobe_campaign --fleet-status`, the
+ * service's status.json) reads the whole directory back into a live
+ * per-worker table.
+ *
+ * The same shared-directory contract as claims applies: files are
+ * published with atomicWriteFile (readers never see a torn file),
+ * the file's mtime is the heartbeat (readers derive staleness from
+ * it, exactly like ClaimDir::claimAge), and a missing or malformed
+ * file degrades a status line, never correctness. Telemetry is
+ * observability-only — nothing here feeds back into job selection
+ * or results, and the `obs-isolation` lint rule keeps it out of the
+ * byte-identity file set.
+ *
+ * File grammar (line-oriented, like claim files):
+ *
+ *     mprobe-telemetry v1
+ *     worker <id>
+ *     jobs <uint>
+ *     hits <uint>
+ *     acquired <uint>
+ *     stolen <uint>
+ *     seconds <double>
+ *     jobs_per_second <double>
+ *     hit_rate <double>
+ *
+ * Unknown keys are ignored (forward compatibility); the header line
+ * and `worker` are required.
+ */
+
+#ifndef OBS_TELEMETRY_HH
+#define OBS_TELEMETRY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mprobe
+{
+namespace obs
+{
+
+/** One worker's published snapshot. */
+struct WorkerTelemetry
+{
+    std::string worker;        ///< worker id (host:pid by default)
+    uint64_t jobs = 0;         ///< jobs measured so far
+    uint64_t hits = 0;         ///< cache hits observed so far
+    uint64_t acquired = 0;     ///< claims acquired
+    uint64_t stolen = 0;       ///< claims stolen from dead peers
+    double seconds = 0.0;      ///< wall seconds since worker start
+    double jobsPerSecond = 0.0; ///< throughput over `seconds`
+    double hitRate = 0.0;      ///< hits / (hits + jobs measured)
+    /** Seconds since the file was last published (reader-side, from
+     * mtime; -1 when unknown). Not serialized. */
+    double ageSeconds = -1.0;
+};
+
+/** Serialize to the telemetry file grammar. */
+std::string telemetryToText(const WorkerTelemetry &t);
+
+/** Parse the grammar; false on a missing header or worker line
+ * (malformed numbers also fail, without touching @p out's fields
+ * that already parsed). */
+bool telemetryFromText(const std::string &text, WorkerTelemetry &out);
+
+/** The file a worker id publishes under inside @p dir (the id is
+ * sanitized to filesystem-safe characters; the authoritative id is
+ * the `worker` line inside the file). */
+std::string telemetryPath(const std::string &dir,
+                          const std::string &worker);
+
+/** Atomically publish @p t under telemetryPath(dir, t.worker).
+ * Warns and returns false on I/O failure (best-effort, like every
+ * shared-directory write). */
+bool writeWorkerTelemetry(const std::string &dir,
+                          const WorkerTelemetry &t);
+
+/** Read every parseable `*.telemetry` file in @p dir, fill each
+ * entry's ageSeconds from the file mtime, and return them sorted by
+ * worker id (deterministic table order). A missing directory is an
+ * empty fleet, not an error. */
+std::vector<WorkerTelemetry>
+readFleetTelemetry(const std::string &dir);
+
+} // namespace obs
+} // namespace mprobe
+
+#endif // OBS_TELEMETRY_HH

@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Trace-recorder implementation.
+ */
+
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "util/fileio.hh"
+#include "util/thread_annotations.hh"
+
+namespace mprobe
+{
+namespace obs
+{
+
+namespace detail
+{
+std::atomic<bool> traceOn{false};
+} // namespace detail
+
+namespace
+{
+
+// Trace timestamps are observability metadata: they annotate where
+// wall time went, and are never read back into any result, export
+// or cache key. The obs-isolation lint rule keeps obs:: out of the
+// byte-identity file set entirely.
+// lint: wallclock-ok(trace timestamps are observability-only)
+using clock = std::chrono::steady_clock;
+
+std::atomic<bool> everOn{false};
+/** Epoch of the current enable (event ts are µs since this). */
+std::atomic<int64_t> epochNs{0};
+
+/** One buffered event. Name/arg-key pointers must outlive the
+ * flush (string literals at every call site). */
+struct Event
+{
+    const char *name;
+    uint64_t tsMicros;
+    char phase; // 'B', 'E' or 'i'
+    int nargs;
+    const char *argKeys[kTraceMaxArgs];
+    double argVals[kTraceMaxArgs];
+};
+
+/**
+ * A thread's ring. Written only by its owner thread; read by the
+ * flusher at quiescent points. `total` is atomic so a racy flush
+ * (caller bug) reads a torn ring, not undefined behaviour.
+ */
+struct ThreadRing
+{
+    int tid = 0;
+    std::vector<Event> slots;
+    std::atomic<size_t> total{0};
+
+    void
+    push(const Event &e)
+    {
+        if (slots.empty())
+            slots.resize(kTraceRingCapacity);
+        size_t t = total.load(std::memory_order_relaxed);
+        slots[t % kTraceRingCapacity] = e;
+        total.store(t + 1, std::memory_order_release);
+    }
+};
+
+/** Registry of every thread's ring; rings are never freed, so
+ * thread-local pointers stay valid across traceReset(). */
+struct Registry
+{
+    Mutex mutex;
+    std::vector<std::unique_ptr<ThreadRing>> rings
+        GUARDED_BY(mutex);
+};
+
+Registry &
+registry()
+{
+    static Registry *r = new Registry; // never destroyed: threads
+                                       // may outlive static dtors
+    return *r;
+}
+
+ThreadRing &
+threadRing()
+{
+    static thread_local ThreadRing *ring = nullptr;
+    if (!ring) {
+        auto owned = std::make_unique<ThreadRing>();
+        ring = owned.get();
+        Registry &reg = registry();
+        MutexLock lock(reg.mutex);
+        ring->tid = static_cast<int>(reg.rings.size()) + 1;
+        reg.rings.push_back(std::move(owned));
+    }
+    return *ring;
+}
+
+uint64_t
+nowMicros()
+{
+    // lint: wallclock-ok(trace timestamps are observability-only)
+    int64_t ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     clock::now().time_since_epoch())
+                     .count();
+    int64_t delta = ns - epochNs.load(std::memory_order_relaxed);
+    return delta > 0 ? static_cast<uint64_t>(delta) / 1000u : 0u;
+}
+
+void
+record(const char *name, char phase, int nargs,
+       const char *const *keys, const double *vals)
+{
+    Event e;
+    e.name = name;
+    e.tsMicros = nowMicros();
+    e.phase = phase;
+    e.nargs = nargs;
+    for (int i = 0; i < nargs; ++i) {
+        e.argKeys[i] = keys[i];
+        e.argVals[i] = vals[i];
+    }
+    threadRing().push(e);
+}
+
+/** Integral arg values print as integers ("cached": 1), others as
+ * plain doubles — stable to grep and valid JSON either way. */
+void
+writeArgValue(std::ostream &os, double v)
+{
+    if (std::isfinite(v) && v == std::floor(v) &&
+        std::fabs(v) < 9.0e15)
+        os << static_cast<long long>(v);
+    else if (std::isfinite(v))
+        os << v;
+    else
+        os << "null";
+}
+
+} // namespace
+
+void
+traceEnable()
+{
+    // lint: wallclock-ok(trace timestamps are observability-only)
+    epochNs.store(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      clock::now().time_since_epoch())
+                      .count(),
+                  std::memory_order_relaxed);
+    everOn.store(true);
+    detail::traceOn.store(true, std::memory_order_relaxed);
+}
+
+void
+traceDisable()
+{
+    detail::traceOn.store(false, std::memory_order_relaxed);
+}
+
+bool
+traceEverEnabled()
+{
+    return everOn.load();
+}
+
+void
+traceReset()
+{
+    detail::traceOn.store(false, std::memory_order_relaxed);
+    everOn.store(false);
+    Registry &reg = registry();
+    MutexLock lock(reg.mutex);
+    for (auto &ring : reg.rings)
+        ring->total.store(0);
+}
+
+void
+traceInstant(const char *name)
+{
+    if (!traceEnabled())
+        return;
+    record(name, 'i', 0, nullptr, nullptr);
+}
+
+void
+traceInstant(const char *name, const char *key, double value)
+{
+    if (!traceEnabled())
+        return;
+    record(name, 'i', 1, &key, &value);
+}
+
+size_t
+traceDroppedEvents()
+{
+    Registry &reg = registry();
+    MutexLock lock(reg.mutex);
+    size_t dropped = 0;
+    for (const auto &ring : reg.rings) {
+        size_t total = ring->total.load(std::memory_order_acquire);
+        if (total > kTraceRingCapacity)
+            dropped += total - kTraceRingCapacity;
+    }
+    return dropped;
+}
+
+TraceSpan::TraceSpan(const char *n) : name(n), live(traceEnabled())
+{
+    if (live)
+        record(name, 'B', 0, nullptr, nullptr);
+}
+
+TraceSpan::~TraceSpan()
+{
+    // The end event pairs the begin even if recording was disabled
+    // mid-span: an unbalanced "B" would render as an open slice.
+    if (live)
+        record(name, 'E', nargs, argKeys, argVals);
+}
+
+void
+TraceSpan::note(const char *key, double value)
+{
+    if (!live || nargs >= kTraceMaxArgs)
+        return;
+    argKeys[nargs] = key;
+    argVals[nargs] = value;
+    ++nargs;
+}
+
+void
+traceWriteJson(std::ostream &os)
+{
+    Registry &reg = registry();
+    MutexLock lock(reg.mutex);
+    os << "{\n  \"traceEvents\": [";
+    bool first = true;
+    size_t dropped = 0;
+    for (const auto &ring : reg.rings) {
+        size_t total = ring->total.load(std::memory_order_acquire);
+        size_t kept = std::min(total, kTraceRingCapacity);
+        if (total > kept)
+            dropped += total - kept;
+        for (size_t i = total - kept; i < total; ++i) {
+            const Event &e =
+                ring->slots[i % kTraceRingCapacity];
+            os << (first ? "\n" : ",\n") << "    {\"name\": \""
+               << e.name << "\", \"cat\": \"mprobe\", \"ph\": \""
+               << e.phase << "\", \"ts\": " << e.tsMicros
+               << ", \"pid\": 1, \"tid\": " << ring->tid;
+            if (e.nargs > 0) {
+                os << ", \"args\": {";
+                for (int a = 0; a < e.nargs; ++a) {
+                    os << (a ? ", " : "") << "\"" << e.argKeys[a]
+                       << "\": ";
+                    writeArgValue(os, e.argVals[a]);
+                }
+                os << "}";
+            }
+            os << "}";
+            first = false;
+        }
+    }
+    os << "\n  ],\n  \"displayTimeUnit\": \"ms\",\n"
+       << "  \"otherData\": {\"dropped_events\": " << dropped
+       << "}\n}\n";
+}
+
+bool
+traceFlush(const std::string &path)
+{
+    std::ostringstream os;
+    traceWriteJson(os);
+    return atomicWriteFile(path, os.str(), "trace flush");
+}
+
+} // namespace obs
+} // namespace mprobe

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Trace recorder: per-thread ring buffers of begin/end/instant
+ * events, flushed on demand to Chrome trace-event JSON.
+ *
+ * The campaign engine and the fleet service are multi-threaded,
+ * cache-coupled and claim-coordinated; "k of n jobs done" progress
+ * lines cannot show *where* wall time goes — decode vs core-sim vs
+ * cache I/O vs claim contention. This recorder makes one run's
+ * timeline loadable in chrome://tracing / Perfetto: callers wrap
+ * phases in TraceSpan (RAII begin/end pairs) or drop traceInstant
+ * markers, and `--trace <file>` on the tools flushes everything at
+ * exit.
+ *
+ * Design constraints (observability must never cost the result
+ * path anything):
+ *
+ *  - disabled is the default and costs exactly one relaxed atomic
+ *    load per call site — no allocation, no locking, no clock read;
+ *  - recording is lock-free: each thread owns a fixed-capacity ring
+ *    buffer (registered once under a mutex, then written only by
+ *    its owner thread) and overflow drops the *oldest* events,
+ *    counted, never blocking or reallocating;
+ *  - event names and argument keys must be string literals (or
+ *    otherwise outlive the flush): the recorder stores pointers,
+ *    never copies;
+ *  - nothing here may be referenced from the byte-identity file
+ *    set (export/cache/manifest/spec/hash) — the `obs-isolation`
+ *    lint rule enforces that, so a trace can never leak into
+ *    results.
+ *
+ * traceWriteJson/traceFlush must run at a quiescent point — after
+ * every traced worker thread has been joined (parallelFor joins;
+ * the tools flush at exit). Flushing while another thread records
+ * would read its ring mid-write.
+ */
+
+#ifndef OBS_TRACE_HH
+#define OBS_TRACE_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace mprobe
+{
+namespace obs
+{
+
+/** Events retained per thread; older ones are dropped (counted). */
+constexpr size_t kTraceRingCapacity = 16384;
+
+/** Maximum key/value annotations one event can carry. */
+constexpr int kTraceMaxArgs = 4;
+
+namespace detail
+{
+extern std::atomic<bool> traceOn;
+} // namespace detail
+
+/** Whether recording is currently enabled (one relaxed load — the
+ * entire disabled-path cost of every trace call site). */
+inline bool
+traceEnabled()
+{
+    return detail::traceOn.load(std::memory_order_relaxed);
+}
+
+/** Start recording: timestamps are microseconds since this call. */
+void traceEnable();
+
+/** Stop recording; already-buffered events remain flushable. */
+void traceDisable();
+
+/** Whether traceEnable() was ever called in this process — what
+ * `trace_active` in the metrics JSON reports, so a perf baseline
+ * measured with tracing on can be refused post-hoc. */
+bool traceEverEnabled();
+
+/**
+ * Test support: disable recording, clear every thread's buffered
+ * events and the drop/ever-enabled records. Buffers themselves are
+ * retained (thread-local pointers into them stay valid); call only
+ * at a quiescent point.
+ */
+void traceReset();
+
+/** Drop an instant marker (phase "i"). */
+void traceInstant(const char *name);
+void traceInstant(const char *name, const char *key, double value);
+
+/** Total events dropped to ring-buffer overflow, all threads. */
+size_t traceDroppedEvents();
+
+/**
+ * Scoped begin/end span. Constructing records the "B" event (when
+ * enabled); destruction records the matching "E". note() attaches
+ * up to kTraceMaxArgs numeric annotations to the end event — cache
+ * hit flags, cost estimates, measured seconds — where the Chrome
+ * viewer shows them on the slice.
+ */
+class TraceSpan
+{
+  public:
+    explicit TraceSpan(const char *name);
+    ~TraceSpan();
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+
+    /** Annotate the span (silently ignored beyond kTraceMaxArgs or
+     * when the span started disabled). */
+    void note(const char *key, double value);
+
+  private:
+    const char *name;
+    bool live;
+    int nargs = 0;
+    const char *argKeys[kTraceMaxArgs];
+    double argVals[kTraceMaxArgs];
+};
+
+/**
+ * Write every buffered event as Chrome trace-event JSON
+ * (chrome://tracing and https://ui.perfetto.dev load it directly).
+ * Events are ordered deterministically by (tid, record order);
+ * per-thread drop counts land in "otherData". Quiescent points
+ * only — see the file comment.
+ */
+void traceWriteJson(std::ostream &os);
+
+/** traceWriteJson to @p path (atomic write; warns and returns
+ * false on I/O failure). */
+bool traceFlush(const std::string &path);
+
+} // namespace obs
+} // namespace mprobe
+
+#endif // OBS_TRACE_HH

@@ -12,6 +12,8 @@
 
 #include "campaign/export.hh"
 #include "campaign/queue.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "util/fileio.hh"
 #include "util/hash.hh"
 #include "util/logging.hh"
@@ -78,6 +80,7 @@ CampaignService::ingestSpec(const std::string &path)
     // fleet serving other campaigns.
     try {
         ScopedFatalThrows guard;
+        obs::TraceSpan span("service.ingest");
         CampaignSpec spec = loadCampaignSpec(path);
         if (spec.sharded() || spec.serve)
             warn(cat("service: campaign '", name,
@@ -119,6 +122,7 @@ CampaignService::ingestSpec(const std::string &path)
             campaigns.push_back(std::move(c));
         }
         queue.push(pjobs);
+        obs::counter("specs_ingested").add();
         inform(cat("service: campaign '", name, "' queued (",
                    pjobs.size(), " jobs in the shared pool)"));
         return true;
@@ -163,11 +167,13 @@ CampaignService::ingestScan()
 }
 
 void
-CampaignService::writeStatusJson(const ActiveCampaign &c,
-                                 size_t claimed) const
+CampaignService::writeStatusJson(
+    const ActiveCampaign &c, size_t claimed,
+    const std::vector<obs::WorkerTelemetry> &fleet) const
 {
     std::ostringstream os;
     os << "{\n"
+       << "  \"schema_version\": 2,\n"
        << "  \"campaign\": \"" << jsonEscape(c.name) << "\",\n"
        << "  \"spec\": \"" << jsonEscape(c.spec.contentSummary())
        << "\",\n"
@@ -175,7 +181,24 @@ CampaignService::writeStatusJson(const ActiveCampaign &c,
        << (c.complete ? "complete" : "running") << "\",\n"
        << "  \"total_jobs\": " << c.jobs.size() << ",\n"
        << "  \"done_jobs\": " << c.doneCount << ",\n"
-       << "  \"claimed_jobs\": " << claimed << "\n"
+       << "  \"claimed_jobs\": " << claimed << ",\n"
+       << "  \"metrics\": ";
+    obs::metricsWriteJson(os, "  ");
+    os << ",\n  \"workers\": [";
+    bool first = true;
+    for (const obs::WorkerTelemetry &w : fleet) {
+        os << (first ? "\n" : ",\n") << "    {\"worker\": \""
+           << jsonEscape(w.worker) << "\", \"jobs\": " << w.jobs
+           << ", \"hits\": " << w.hits
+           << ", \"acquired\": " << w.acquired
+           << ", \"stolen\": " << w.stolen
+           << ", \"seconds\": " << w.seconds
+           << ", \"jobs_per_second\": " << w.jobsPerSecond
+           << ", \"hit_rate\": " << w.hitRate
+           << ", \"age_seconds\": " << w.ageSeconds << "}";
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "]\n"
        << "}\n";
     atomicWriteFile(campaignDir(c.name) + "/status.json",
                     os.str(), "service status");
@@ -184,6 +207,10 @@ CampaignService::writeStatusJson(const ActiveCampaign &c,
 void
 CampaignService::updateStatus()
 {
+    // One directory read serves every campaign's workers table
+    // this pass (the table is fleet-wide, not per-campaign).
+    std::vector<obs::WorkerTelemetry> fleet =
+        obs::readFleetTelemetry(opts.cacheDir);
     MutexLock lock(mutex);
     for (auto &cp : campaigns) {
         ActiveCampaign &c = *cp;
@@ -238,7 +265,7 @@ CampaignService::updateStatus()
             atomicWriteFile(campaignDir(c.name) + "/samples.json",
                             json.str(), "service export");
             c.complete = true;
-            writeStatusJson(c, 0);
+            writeStatusJson(c, 0, fleet);
             inform(cat("service: campaign '", c.name,
                        "' complete (", c.jobs.size(),
                        " samples exported)"));
@@ -264,7 +291,7 @@ CampaignService::updateStatus()
                             json.str(), "service export");
             c.exportedDone = c.doneCount;
         }
-        writeStatusJson(c, claimed);
+        writeStatusJson(c, claimed, fleet);
     }
 }
 
@@ -290,18 +317,29 @@ CampaignService::drainLoop()
         }
         ActiveCampaign &c = *ref.campaign;
         const CampaignJob &job = c.jobs[ref.job];
-        Sample s;
-        if (!cache.lookup(job.key, s)) {
-            const Program &prog =
-                c.workloads[job.workload].program;
-            uint64_t salt = hashCombine(job.key, 0x5a17ull);
-            s = makeSample(
-                prog.name,
-                c.machine.run(prog, job.config,
-                              c.machine.operatingPoint(job.freqGhz),
-                              salt));
-            cache.store(job.key, s);
+        {
+            obs::TraceSpan jspan("service.job");
+            Sample s;
+            if (cache.lookup(job.key, s)) {
+                obs::counter("cache_hits").add();
+                jspan.note("cached", 1);
+            } else {
+                obs::counter("cache_misses").add();
+                jspan.note("cached", 0);
+                const Program &prog =
+                    c.workloads[job.workload].program;
+                uint64_t salt = hashCombine(job.key, 0x5a17ull);
+                s = makeSample(
+                    prog.name,
+                    c.machine.run(
+                        prog, job.config,
+                        c.machine.operatingPoint(job.freqGhz),
+                        salt));
+                cache.store(job.key, s);
+            }
+            jspan.note("cost_est", job.cost);
         }
+        jobsRun.fetch_add(1);
         queue.complete(gi);
         {
             MutexLock lock(mutex);
@@ -337,11 +375,40 @@ CampaignService::run()
     for (int t = 0; t < threads; ++t)
         workers.emplace_back([this]() { drainLoop(); });
 
+    // lint: wallclock-ok(worker-telemetry heartbeat only)
+    using clock = std::chrono::steady_clock;
+    const auto t0 = clock::now();
+    // This worker's fleet-telemetry heartbeat: published every
+    // watcher pass, read back (with every peer's) by updateStatus
+    // into the status.json workers table.
+    auto publishTelemetry = [&]() {
+        obs::WorkerTelemetry t;
+        t.worker = claims.workerId();
+        t.jobs = jobsRun.load();
+        t.hits = cache.hits();
+        t.acquired = claims.acquired();
+        t.stolen = claims.stolen();
+        t.seconds =
+            std::chrono::duration<double>(clock::now() - t0)
+                .count();
+        t.jobsPerSecond =
+            t.seconds > 0.0
+                ? static_cast<double>(t.jobs) / t.seconds
+                : 0.0;
+        size_t looked = cache.hits() + cache.misses();
+        t.hitRate = looked > 0
+                        ? static_cast<double>(cache.hits()) /
+                              static_cast<double>(looked)
+                        : 0.0;
+        obs::writeWorkerTelemetry(opts.cacheDir, t);
+    };
+
     while (!stopRequested.load()) {
         size_t ingested = ingestScan();
         // One live thread refreshing every held claim keeps
         // single-worker fleets from stealing their own long jobs.
         claims.heartbeatHeld();
+        publishTelemetry();
         updateStatus();
         bool idle;
         {
@@ -362,7 +429,9 @@ CampaignService::run()
         w.join();
     workers.clear();
     // A final fold so completions that raced the loop exit still
-    // land in status.json / samples.csv.
+    // land in status.json / samples.csv — with this worker's last
+    // telemetry snapshot folded into the workers table first.
+    publishTelemetry();
     updateStatus();
 
     MutexLock lock(mutex);

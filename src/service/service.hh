@@ -45,6 +45,7 @@
 
 #include "campaign/campaign.hh"
 #include "campaign/claims.hh"
+#include "obs/telemetry.hh"
 #include "util/thread_annotations.hh"
 
 namespace mprobe
@@ -163,6 +164,8 @@ class CampaignService
     std::set<std::string> ingestedFiles;
     std::atomic<bool> stopRequested{false};
     std::vector<std::thread> workers;
+    /** Jobs this process measured (worker-telemetry throughput). */
+    std::atomic<uint64_t> jobsRun{0};
 
     /** Scan the drop directory; ingest every new spec. Returns the
      * number of campaigns ingested this scan. */
@@ -177,9 +180,13 @@ class CampaignService
     void drainLoop();
     /** Directory of one campaign's outputs. */
     std::string campaignDir(const std::string &name) const;
-    /** Write one campaign's status.json. */
-    void writeStatusJson(const ActiveCampaign &c,
-                         size_t claimed) const REQUIRES(mutex);
+    /** Write one campaign's status.json; @p fleet is the worker
+     * telemetry read from the shared cache directory (one read per
+     * updateStatus pass, shared by every campaign's file). */
+    void writeStatusJson(
+        const ActiveCampaign &c, size_t claimed,
+        const std::vector<obs::WorkerTelemetry> &fleet) const
+        REQUIRES(mutex);
 };
 
 } // namespace mprobe

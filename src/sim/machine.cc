@@ -11,6 +11,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "util/hash.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
@@ -279,6 +281,7 @@ Machine::finishRun(const Program &prog, const ChipConfig &cfg,
                    const OperatingPoint &op, uint64_t salt,
                    const CoreResult &core) const
 {
+    obs::TraceSpan span("sim.power");
     RunResult res;
     res.config = cfg;
     res.chip = core.window;
@@ -335,6 +338,8 @@ Machine::Batch::Batch(const Machine &machine, const Program &p)
     // Decoded even when the fast path is currently disabled: the
     // toggle is dynamic (tests flip it), so run() must never see a
     // stale decode.
+    obs::TraceSpan span("sim.decode");
+    span.note("instructions", static_cast<double>(p.size()));
     m.exec.decode(p, m.simOpts.mispredictPenalty,
                   m.simOpts.transitionGateNj, decoded);
 }
@@ -347,13 +352,23 @@ Machine::Batch::simAt(int smt, int lat_mem)
     // per distinct swept/contended latency), so a linear scan
     // beats any map.
     for (const MemoEntry &e : memo)
-        if (e.smt == smt && e.latMem == lat_mem)
+        if (e.smt == smt && e.latMem == lat_mem) {
+            obs::counter("batch_memo_hits").add();
             return e.core;
+        }
+    obs::counter("batch_core_sims").add();
     CoreSimOptions opts = m.simOpts;
     opts.memLatency = lat_mem;
-    memo.push_back(
-        {smt, lat_mem,
-         simulateCoreDecoded(decoded, smt, opts, scratch)});
+    {
+        obs::TraceSpan span("sim.core");
+        span.note("smt", smt);
+        span.note("lat_mem", lat_mem);
+        memo.push_back(
+            {smt, lat_mem,
+             simulateCoreDecoded(decoded, smt, opts, scratch)});
+    }
+    obs::gauge("arena_high_water_bytes")
+        .max(static_cast<double>(scratch.arena.capacityBytes()));
     return memo.back().core;
 }
 

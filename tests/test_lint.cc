@@ -201,6 +201,54 @@ TEST(LintUnordered, AnnotationSilences)
 }
 
 // ----------------------------------------------------------------
+// Rule: obs-isolation.
+
+TEST(LintObsIsolation, FlagsObsInByteIdentityFiles)
+{
+    const char *snippet =
+        "#include \"obs/metrics.hh\"\n"
+        "void f() { obs::counter(\"cache_hits\").add(); }\n";
+    EXPECT_TRUE(hasRule(
+        lintSourceText("src/campaign/cache.cc", snippet),
+        "obs-isolation"));
+    EXPECT_TRUE(hasRule(
+        lintSourceText("src/campaign/export.cc", snippet),
+        "obs-isolation"));
+    EXPECT_TRUE(hasRule(
+        lintSourceText("src/util/hash.hh", snippet),
+        "obs-isolation"));
+    // A span helper is as forbidden as a counter.
+    EXPECT_TRUE(hasRule(
+        lintSourceText("src/campaign/manifest.cc",
+                       "void g() { obs::TraceSpan s(\"x\"); }\n"),
+        "obs-isolation"));
+}
+
+TEST(LintObsIsolation, EngineFilesAndCleanCodePass)
+{
+    const char *snippet =
+        "void f() { obs::counter(\"claims_stolen\").add(); }\n";
+    // Orchestration files instrument legitimately: out of scope.
+    EXPECT_TRUE(
+        lintSourceText("src/campaign/campaign.cc", snippet)
+            .empty());
+    EXPECT_TRUE(
+        lintSourceText("src/service/service.cc", snippet).empty());
+    // In-scope files that never touch obs:: stay clean, even with
+    // an unrelated identifier spelled "obs".
+    EXPECT_TRUE(lintSourceText("src/campaign/cache.cc",
+                               "int obs = 3; int y = obs + 1;\n")
+                    .empty());
+    // No exemption annotation exists for this rule: an annotated
+    // violation still fires.
+    EXPECT_TRUE(hasRule(
+        lintSourceText("src/campaign/spec.cc",
+                       "// lint: wallclock-ok(nice try)\n"
+                       "void h() { obs::traceInstant(\"x\"); }\n"),
+        "obs-isolation"));
+}
+
+// ----------------------------------------------------------------
 // Rule: hot-path-alloc.
 
 TEST(LintHotPath, FlagsHeapInSimulateCoreDecoded)

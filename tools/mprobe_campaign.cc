@@ -27,6 +27,9 @@
 #include "campaign/claims.hh"
 #include "campaign/export.hh"
 #include "campaign/manifest.hh"
+#include "obs/metrics.hh"
+#include "obs/telemetry.hh"
+#include "obs/trace.hh"
 #include "util/args.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
@@ -125,6 +128,7 @@ writeMetricsJson(const std::string &path, const CampaignSpec &spec,
     if (!f)
         fatal(cat("cannot write metrics file '", path, "'"));
     f << "{\n"
+      << "  \"schema_version\": 2,\n"
       << "  \"workloads\": " << res.workloads.size() << ",\n"
       << "  \"jobs\": " << res.jobs.size() << ",\n"
       << "  \"threads\": " << spec.threads << ",\n"
@@ -135,8 +139,21 @@ writeMetricsJson(const std::string &path, const CampaignSpec &spec,
       << "  \"jobs_per_second\": " << jobs_per_sec << ",\n"
       << "  \"cache_hits\": " << res.cacheHits << ",\n"
       << "  \"cache_misses\": " << res.cacheMisses << ",\n"
-      << "  \"cache_hit_rate\": " << hit_rate;
+      << "  \"cache_hit_rate\": " << hit_rate << ",\n"
+      << "  \"cache_corrupt\": " << res.cacheCorrupt << ",\n"
+      << "  \"claims_acquired\": " << res.claimsAcquired << ",\n"
+      << "  \"claims_stolen\": " << res.claimsStolen << ",\n"
+      // The perf-gate tripwire: a baseline measured with tracing
+      // enabled at runtime is refused (tools/refresh_baseline.sh
+      // and the CI gate grep for this field).
+      << "  \"trace_active\": "
+      << (obs::traceEverEnabled() ? "true" : "false");
     if (include_job_seconds) {
+        // The full observability registry — counters, gauges,
+        // histograms — rides only in the full variant; the stable
+        // variant stays the lean committed-baseline format.
+        f << ",\n  \"metrics\": ";
+        obs::metricsWriteJson(f, "  ");
         // Per-job wall seconds: what --calibrate refits the
         // JobCostModel from. Kept last so the aggregate fields
         // above stay easy to eyeball.
@@ -370,6 +387,48 @@ runMerge(const std::string &cache_dir,
     std::exit(0);
 }
 
+/**
+ * The fleet-status step (--fleet-status): read every worker's
+ * telemetry file from the shared cache directory and print the
+ * live per-worker table. Exits the process (no measurement).
+ */
+[[noreturn]] void
+runFleetStatus(const std::string &cache_dir)
+{
+    if (cache_dir.empty())
+        fatal("--fleet-status needs a cache directory "
+              "(--cache-dir or cache_dir in the spec): workers "
+              "publish their telemetry there");
+    std::vector<obs::WorkerTelemetry> fleet =
+        obs::readFleetTelemetry(cache_dir);
+    if (fleet.empty()) {
+        std::cout << "fleet: no worker telemetry under '"
+                  << cache_dir
+                  << "' (workers publish it while serving; files "
+                     "are <worker-id>.telemetry)\n";
+        std::exit(0);
+    }
+    TextTable t({"Worker", "Jobs", "Hits", "Acquired", "Stolen",
+                 "Jobs/s", "Hit rate", "Age s"});
+    for (const obs::WorkerTelemetry &w : fleet)
+        t.addRow({w.worker, std::to_string(w.jobs),
+                  std::to_string(w.hits),
+                  std::to_string(w.acquired),
+                  std::to_string(w.stolen),
+                  TextTable::num(w.jobsPerSecond, 2),
+                  TextTable::num(w.hitRate, 2),
+                  w.ageSeconds >= 0.0
+                      ? TextTable::num(w.ageSeconds, 0)
+                      : std::string("?")});
+    t.print(std::cout);
+    std::cout << fleet.size()
+              << (fleet.size() == 1 ? " worker" : " workers")
+              << " reporting (age is seconds since each last "
+                 "published; stale ages mean finished or dead "
+                 "workers)\n";
+    std::exit(0);
+}
+
 } // namespace
 
 int
@@ -469,6 +528,18 @@ main(int argc, char **argv)
                  "list the jobs an interrupted campaign left "
                  "unfinished (from the cache-dir manifest), then "
                  "complete only those");
+    args.addOption("trace", "",
+                   "record a Chrome trace-event timeline of this "
+                   "run (campaign phases, per-job spans, claim "
+                   "events, sim stages) and write it to this path "
+                   "at exit; load it in chrome://tracing or "
+                   "https://ui.perfetto.dev. Observability only: "
+                   "exports stay byte-identical");
+    args.addFlag("fleet-status",
+                 "no measurement: print the live per-worker "
+                 "telemetry table of the fleet sharing --cache-dir "
+                 "(each --serve worker publishes "
+                 "<worker-id>.telemetry there), then exit");
     args.addFlag("quiet", "suppress status messages");
     args.parse(argc, argv,
                "Run a measurement campaign over generated "
@@ -522,6 +593,22 @@ main(int argc, char **argv)
         if (spec.progressSeconds < 0)
             fatal("--progress-seconds must be >= 0 "
                   "(0 = disabled)");
+    }
+
+    // Tracing switches on before any campaign work so generation
+    // and expansion spans are captured too; the single flush
+    // happens at exit, when every worker thread has joined.
+    const std::string trace_path = args.get("trace");
+    if (!trace_path.empty())
+        obs::traceEnable();
+
+    if (args.getFlag("fleet-status")) {
+        if (args.getFlag("merge") || args.getFlag("resume") ||
+            args.getFlag("plan") || spec.serve)
+            fatal("--fleet-status is a standalone step; it does "
+                  "not combine with --merge, --plan, --serve or "
+                  "--resume");
+        runFleetStatus(spec.cacheDir);
     }
 
     if (!args.get("calibrate").empty()) {
@@ -667,6 +754,13 @@ main(int argc, char **argv)
         exportSamples(args.get("json"), res.samples,
                       SampleFormat::Json);
         std::cout << "wrote " << args.get("json") << "\n";
+    }
+    if (!trace_path.empty()) {
+        // Quiescent by construction: campaign.run joined every
+        // worker thread, and exports run on this thread only.
+        obs::traceDisable();
+        if (obs::traceFlush(trace_path))
+            std::cout << "wrote " << trace_path << "\n";
     }
     return 0;
 }

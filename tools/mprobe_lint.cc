@@ -3,7 +3,8 @@
  * mprobe_lint: the project invariant linter CLI.
  *
  * Runs the token-level rules (nondeterminism, unordered-iteration,
- * hot-path-alloc) over every .cc/.hh file under src/ bench/ tests/
+ * obs-isolation, hot-path-alloc) over every .cc/.hh file under
+ * src/ bench/ tests/
  * tools/ and cross-references the fingerprint-coverage pairs. Prints
  * one `file:line: [rule] message` per finding and exits non-zero if
  * anything fired; CI runs it from the lint job next to clang-format.

@@ -19,6 +19,7 @@
 
 #include <iostream>
 
+#include "obs/trace.hh"
 #include "service/service.hh"
 #include "util/args.hh"
 #include "util/logging.hh"
@@ -61,6 +62,13 @@ main(int argc, char **argv)
                  "exit once every ingested campaign is complete "
                  "and a scan finds no new specs (CI/batch use); "
                  "default runs until interrupted");
+    args.addOption("trace", "",
+                   "record a Chrome trace-event timeline of this "
+                   "service run (spec ingestion, per-job spans, "
+                   "claim events, sim stages) and write it to this "
+                   "path at exit; load it in chrome://tracing or "
+                   "https://ui.perfetto.dev. Observability only: "
+                   "exports stay byte-identical");
     args.addFlag("quiet", "suppress status messages");
     args.parse(argc, argv,
                "Serve campaign specs dropped into a directory "
@@ -91,8 +99,19 @@ main(int argc, char **argv)
     opts.archName = args.get("arch");
     opts.exitWhenIdle = args.getFlag("exit-when-idle");
 
+    const std::string trace_path = args.get("trace");
+    if (!trace_path.empty())
+        obs::traceEnable();
+
     CampaignService service(std::move(opts));
     size_t completed = service.run();
     std::cout << completed << " campaigns completed\n";
+    if (!trace_path.empty()) {
+        // run() joined every worker thread before returning, so
+        // this flush reads quiescent ring buffers.
+        obs::traceDisable();
+        if (obs::traceFlush(trace_path))
+            std::cout << "wrote " << trace_path << "\n";
+    }
     return 0;
 }

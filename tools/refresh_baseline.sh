@@ -62,6 +62,20 @@ printf '%s\n' 'categories = memory, random' \
 "$bin" --spec perf.spec --cache-dir batched-cache --quiet \
     --metrics-json-stable batched_warm.json
 
+# Same family of tripwire as the sanitizer check above, but
+# caught post-hoc from the run itself: a baseline measured with
+# tracing enabled at runtime would bake the recorder's overhead
+# into the ratchet. The stable metrics JSON records whether
+# traceEnable() ever ran in the measuring process.
+if grep -q '"trace_active": true' cold.json warm.json \
+    sweep_cold.json sweep_warm.json batched_cold.json \
+    batched_warm.json; then
+    echo "error: a measurement ran with tracing enabled" \
+         "(trace_active=true in its metrics); refresh the" \
+         "baseline without --trace" >&2
+    exit 1
+fi
+
 jq -s '{cold: .[0], warm: .[1],
         sweep_cold: .[2], sweep_warm: .[3],
         batched_cold: .[4], batched_warm: .[5]}' \
